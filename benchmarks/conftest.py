@@ -1,0 +1,39 @@
+"""Shared benchmark utilities.
+
+Every benchmark regenerates one paper table/figure at the configured
+:class:`ExperimentScale` (env ``REPRO_SCALE`` / ``REPRO_SEEDS``),
+prints the resulting rows/series, and writes them under
+``benchmarks/out/`` so EXPERIMENTS.md can reference the artifacts.
+"""
+
+import pathlib
+
+import pytest
+
+from repro.experiments.config import ExperimentScale
+
+OUT_DIR = pathlib.Path(__file__).parent / "out"
+
+
+@pytest.fixture(scope="session")
+def scale() -> ExperimentScale:
+    """The session's experiment scale (env-configurable)."""
+    return ExperimentScale.from_env()
+
+
+@pytest.fixture(scope="session")
+def artifact():
+    """Writer for rendered figure text: artifact(name, text)."""
+    OUT_DIR.mkdir(exist_ok=True)
+
+    def write(name: str, text: str) -> None:
+        path = OUT_DIR / f"{name}.txt"
+        path.write_text(text + "\n", encoding="utf-8")
+        print(f"\n{text}\n[written to {path}]")
+
+    return write
+
+
+def run_once(benchmark, fn):
+    """Run an experiment exactly once under pytest-benchmark timing."""
+    return benchmark.pedantic(fn, rounds=1, iterations=1)

@@ -1,0 +1,58 @@
+"""Extension benchmark: replica preservation (Sec. VI).
+
+Shape checks: with everyone compliant, both altruistic hosting and
+T-Chain reach high durability; with 30 % free-riders, altruistic
+hosting hands them durable replicas at honest peers' expense while
+T-Chain gives them none — and honest durability under T-Chain holds
+up.  Over a long horizon, churn destroys free-riders' unreplicated
+objects, the preservation incentive with teeth.
+"""
+
+from conftest import run_once
+
+from repro.analysis.reporting import format_table
+from repro.replication import ReplicationConfig, ReplicationSystem
+
+
+def _run(mode, fraction, seed, duration=1200.0):
+    config = ReplicationConfig(mode=mode, freerider_fraction=fraction,
+                               duration_s=duration, seed=seed)
+    return ReplicationSystem(config).run()
+
+
+def test_replication_extension(benchmark, scale, artifact):
+    def run():
+        seed = scale.root_seed
+        return {
+            ("altruistic", 0.0): _run("altruistic", 0.0, seed),
+            ("altruistic", 0.3): _run("altruistic", 0.3, seed),
+            ("tchain", 0.0): _run("tchain", 0.0, seed),
+            ("tchain", 0.3): _run("tchain", 0.3, seed),
+        }
+
+    reports = run_once(benchmark, run)
+    artifact("ext_replication", format_table(
+        ["scheme", "free-riders", "compliant durability",
+         "compliant replication", "FR durability", "objects lost"],
+        [(mode, f"{fr:.0%}", r.compliant_durability,
+          r.mean_compliant_replication, r.freerider_durability,
+          r.objects_lost)
+         for (mode, fr), r in reports.items()],
+        title="Replica preservation under churn (Sec. VI extension)"))
+
+    # Clean networks: both schemes preserve compliant data well.
+    assert reports[("altruistic", 0.0)].compliant_durability > 0.85
+    assert reports[("tchain", 0.0)].compliant_durability > 0.8
+
+    # Free-riders: durable replicas under altruism, none under T-Chain.
+    assert reports[("altruistic", 0.3)].freerider_durability > 0.5
+    assert reports[("tchain", 0.3)].freerider_durability == 0.0
+
+    # Honest durability under attack: T-Chain at least matches the
+    # altruistic scheme (whose capacity free-riders consume).
+    assert reports[("tchain", 0.3)].compliant_durability >= \
+        0.95 * reports[("altruistic", 0.3)].compliant_durability
+
+    # Churn destroys only the non-reciprocators' objects over time.
+    assert reports[("tchain", 0.3)].objects_lost >= \
+        reports[("tchain", 0.0)].objects_lost

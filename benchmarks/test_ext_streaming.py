@@ -1,0 +1,93 @@
+"""Extension benchmark: streaming QoE (the paper's Sec. VI direction).
+
+Shape checks: viewers finish playback with high continuity under both
+protocols when everyone is compliant; with 30 % free-riders in the
+audience T-Chain's continuity holds up (its incentives protect the
+playhead); and the sliding-window policy beats plain LRF on stalls —
+the design choice that makes streaming viable at all.
+"""
+
+from conftest import run_once
+
+from repro.analysis.reporting import format_table
+from repro.attacks import FreeRiderOptions, make_freerider
+from repro.bt.config import SwarmConfig
+from repro.bt.protocols import PROTOCOLS
+from repro.bt.swarm import Swarm
+from repro.streaming import make_streaming, streaming_metrics
+from repro.streaming.peers import StreamingConfig
+from repro.workloads.arrivals import flash_crowd, schedule_arrivals
+
+VIEWERS = 24
+PIECES = 36
+PLAYBACK = StreamingConfig(piece_duration_s=1.5, startup_buffer=3,
+                           window=8)
+NO_WINDOW = StreamingConfig(piece_duration_s=1.5, startup_buffer=3,
+                            window=0)
+
+
+def _run(protocol, fraction, seed, playback=PLAYBACK):
+    config = SwarmConfig(n_pieces=PIECES, piece_size_kb=64.0,
+                         seed=seed)
+    swarm = Swarm(config)
+    seeder_cls, leecher_cls = PROTOCOLS[protocol]
+    seeder_cls(swarm).join()
+    viewer_cls = make_streaming(leecher_cls, playback)
+    freerider_cls = make_freerider(leecher_cls, FreeRiderOptions())
+    viewers = []
+
+    def viewer_factory():
+        viewer = viewer_cls(swarm)
+        viewers.append(viewer)
+        return viewer
+
+    n_free = round(fraction * VIEWERS)
+    factories = [viewer_factory] * (VIEWERS - n_free) \
+        + [lambda: freerider_cls(swarm)] * n_free
+    swarm.sim.rng.shuffle(factories)
+    schedule_arrivals(swarm, flash_crowd(factories, swarm.sim.rng))
+    swarm.run(max_time=3000.0)
+    return streaming_metrics(viewers, swarm.sim.now)
+
+
+def test_streaming_qoe(benchmark, scale, artifact):
+    def run():
+        seed = scale.root_seed
+        return {
+            ("bittorrent", 0.0): _run("bittorrent", 0.0, seed),
+            ("bittorrent", 0.3): _run("bittorrent", 0.3, seed),
+            ("tchain", 0.0): _run("tchain", 0.0, seed),
+            ("tchain", 0.3): _run("tchain", 0.3, seed),
+            ("tchain-lrf", 0.0): _run("tchain", 0.0, seed,
+                                      playback=NO_WINDOW),
+        }
+
+    reports = run_once(benchmark, run)
+    artifact("ext_streaming", format_table(
+        ["scenario", "free-riders", "finished", "startup (s)",
+         "stalls", "continuity"],
+        [(name, f"{fr:.0%}", f"{r.finished}/{r.viewers}",
+          r.mean_startup_s, r.mean_stalls, r.mean_continuity)
+         for (name, fr), r in reports.items()],
+        title="Streaming QoE (Sec. VI extension)"))
+
+    # Everyone finishes playback in every scenario.
+    for report in reports.values():
+        assert report.finished == report.viewers
+
+    # Compliant-audience continuity is high for both protocols.
+    assert reports[("bittorrent", 0.0)].mean_continuity > 0.85
+    assert reports[("tchain", 0.0)].mean_continuity > 0.85
+
+    # T-Chain holds continuity under a 30% free-riding audience.
+    assert reports[("tchain", 0.3)].mean_continuity > 0.8
+
+    # The sliding window earns its keep on *startup latency*: without
+    # it LRF effectively downloads the bulk of the file before the
+    # first pieces happen to be contiguous (few stalls, but the viewer
+    # waits much longer to press play).
+    assert reports[("tchain", 0.0)].mean_startup_s < \
+        reports[("tchain-lrf", 0.0)].mean_startup_s
+    # And stalls stay bounded: under 10% of the stream duration.
+    stream_s = PIECES * PLAYBACK.piece_duration_s
+    assert reports[("tchain", 0.0)].mean_stall_time_s < 0.1 * stream_s

@@ -1,0 +1,117 @@
+"""Section III-B cross-validation: analytical model vs simulator.
+
+The paper derives the bootstrapping comparison (T-Chain vs a
+BitTorrent-like protocol) analytically and separately simulates whole
+swarms, but never checks one against the other.  We can — in the
+regime the model actually describes: *newcomers joining an
+established swarm*, where BitTorrent spends only its optimistic share
+δ on peers with no history while T-Chain's chains keep designating
+un-bootstrapped peers as payees.
+
+(A flash crowd is explicitly NOT that regime: with no upload history
+anywhere, BitTorrent's rechoke fills all its slots randomly —
+effectively δ ≈ 1 — and bootstraps newcomers at full speed.  The
+model's premise, and hence its prediction, applies once an economy of
+established reciprocators exists.)
+
+Measured: first-usable-piece latency of a newcomer batch injected at
+t = 60 s into a 40-leecher swarm, versus the model's
+timeslots-to-bootstrap with the corresponding parameters.
+"""
+
+from conftest import run_once
+
+from repro.analysis.reporting import format_table
+from repro.analysis.stats import mean, percentile
+from repro.bt.protocols import PROTOCOLS
+from repro.bt.swarm import Swarm
+from repro.experiments.runner import build_config, seeds_for
+from repro.models import BitTorrentLikeModel, TChainModel
+from repro.workloads.arrivals import flash_crowd, schedule_arrivals
+
+BASE_SWARM = 40
+NEWCOMERS = 10
+PIECES = 32
+INJECT_AT_S = 60.0
+
+
+def _late_newcomer_latencies(protocol, seed):
+    config = build_config(protocol, pieces=PIECES, seed=seed)
+    swarm = Swarm(config)
+    seeder_cls, leecher_cls = PROTOCOLS[protocol]
+    seeder_cls(swarm).join()
+    base = [lambda: leecher_cls(swarm) for _ in range(BASE_SWARM)]
+    schedule_arrivals(swarm, flash_crowd(base, swarm.sim.rng))
+    newcomers = []
+
+    def inject():
+        swarm.note_arrival_happened()
+        peer = leecher_cls(swarm)
+        newcomers.append(peer)
+        peer.join()
+
+    for i in range(NEWCOMERS):
+        swarm.note_arrival_scheduled()
+        swarm.sim.schedule_at(INJECT_AT_S + 0.5 * i, inject)
+    swarm.run(max_time=2500.0)
+    return [peer.first_piece_at - peer.join_time
+            for peer in newcomers if peer.first_piece_at is not None]
+
+
+def test_model_vs_simulation_bootstrap_ordering(benchmark, scale,
+                                                artifact):
+    def run():
+        out = {}
+        for protocol in ("bittorrent", "tchain"):
+            latencies = []
+            for seed in seeds_for(f"sec3bx/{protocol}",
+                                  scale.root_seed, scale.seeds):
+                latencies.extend(
+                    _late_newcomer_latencies(protocol, seed))
+            out[protocol] = latencies
+        return out
+
+    latencies = run_once(benchmark, run)
+    assert latencies["bittorrent"] and latencies["tchain"]
+
+    # Model predictions: a small un-bootstrapped minority inside an
+    # established population.
+    n = BASE_SWARM + NEWCOMERS
+    x0 = float(NEWCOMERS)
+    bt_model = BitTorrentLikeModel(n=n, delta=0.2).trajectory(x0, 80)
+    tc_model = TChainModel(n=n, k_chains=2.0,
+                           n_pieces=PIECES).trajectory(x0, 80)
+
+    def slots_to_half(states):
+        for state in states:
+            if state.unbootstrapped <= x0 / 2:
+                return state.t
+        return states[-1].t
+
+    rows = [
+        ("model: timeslots to bootstrap half the newcomers",
+         slots_to_half(bt_model), slots_to_half(tc_model)),
+        ("simulation: mean first-usable-piece latency (s)",
+         mean(latencies["bittorrent"]), mean(latencies["tchain"])),
+        ("simulation: median latency (s)",
+         percentile(latencies["bittorrent"], 50),
+         percentile(latencies["tchain"], 50)),
+        ("simulation: p90 latency (s)",
+         percentile(latencies["bittorrent"], 90),
+         percentile(latencies["tchain"], 90)),
+    ]
+    artifact("sec3b_model_vs_sim", format_table(
+        ["quantity", "bittorrent-like", "t-chain"], rows,
+        title="Sec. III-B cross-validation "
+              "(late newcomers into an established swarm)"))
+
+    # The model's ordering: T-Chain bootstraps at least as fast.
+    assert slots_to_half(tc_model) <= slots_to_half(bt_model)
+    # The simulator agrees in the same regime.  Tolerance covers what
+    # the model abstracts away: a T-Chain "bootstrap" costs two piece
+    # transfers (encrypted receipt + reciprocation) before the key,
+    # vs one for BitTorrent.
+    assert mean(latencies["tchain"]) <= \
+        2.0 * mean(latencies["bittorrent"])
+    assert percentile(latencies["tchain"], 90) <= \
+        2.0 * percentile(latencies["bittorrent"], 90)

@@ -1,0 +1,53 @@
+#!/usr/bin/env python3
+"""File replication over T-Chain (Sec. VI: "file replication (and
+preservation)").
+
+Storage peers want off-site replicas of their objects.  Hosting
+someone's replica is the contribution; a *committed* (durable)
+replica is the benefit.  Under T-Chain the host withholds its storage
+commitment until the owner reciprocates by hosting for a designated
+payee — so free-riders can fill nobody's disk for free, and when
+churn strikes, only reciprocators' data survives.
+
+Run:  python examples/replica_preservation.py
+"""
+
+from repro.analysis.reporting import format_table
+from repro.replication import ReplicationConfig, ReplicationSystem
+
+
+def run(mode: str, freerider_fraction: float, seed: int = 3):
+    config = ReplicationConfig(mode=mode,
+                               freerider_fraction=freerider_fraction,
+                               duration_s=1200.0, seed=seed)
+    return ReplicationSystem(config).run()
+
+
+def main() -> None:
+    rows = []
+    for mode in ("altruistic", "tchain"):
+        for fraction in (0.0, 0.3):
+            report = run(mode, fraction)
+            rows.append((
+                mode, f"{fraction:.0%}",
+                f"{report.compliant_durability:.0%}",
+                round(report.mean_compliant_replication, 2),
+                f"{report.freerider_durability:.0%}",
+                report.objects_lost,
+            ))
+    print(format_table(
+        ["scheme", "free-riders", "compliant durability",
+         "compliant replication", "free-rider durability",
+         "objects lost to churn"],
+        rows,
+        title="Replica preservation under churn "
+              "(24 nodes, target 2 replicas)"))
+    print(
+        "\nAltruistic hosting lets free-riders keep durable replicas "
+        "at honest peers' expense;\nunder T-Chain their replicas are "
+        "never committed, audits reclaim the space, and\nchurn "
+        "eventually destroys their (and only their) objects.")
+
+
+if __name__ == "__main__":
+    main()

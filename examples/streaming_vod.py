@@ -1,0 +1,81 @@
+#!/usr/bin/env python3
+"""Video-on-demand over T-Chain (the paper's Sec. VI future work).
+
+Viewers join a swarm, buffer a few pieces, and play the stream in
+order while still downloading; they seed until the credits roll.
+The question streaming incentives must answer: does playback quality
+survive free-riders?
+
+This example compares BitTorrent and T-Chain viewer QoE — startup
+latency, stalls, continuity — with 0 % and 30 % free-riders in the
+audience.
+
+Run:  python examples/streaming_vod.py
+"""
+
+from repro.analysis.reporting import format_table
+from repro.attacks import FreeRiderOptions, make_freerider
+from repro.bt.config import SwarmConfig
+from repro.bt.protocols import PROTOCOLS
+from repro.bt.swarm import Swarm
+from repro.streaming import make_streaming, streaming_metrics
+from repro.streaming.peers import StreamingConfig
+from repro.workloads.arrivals import flash_crowd, schedule_arrivals
+
+VIEWERS = 30
+PIECES = 48           # 48 x 64 KB pieces, 1.5 s each = 72 s of video
+PLAYBACK = StreamingConfig(piece_duration_s=1.5, startup_buffer=3,
+                           window=8)
+SEED = 3
+
+
+def run(protocol: str, freerider_fraction: float):
+    config = SwarmConfig(n_pieces=PIECES, piece_size_kb=64.0,
+                         seed=SEED)
+    swarm = Swarm(config)
+    seeder_cls, leecher_cls = PROTOCOLS[protocol]
+    seeder_cls(swarm).join()
+    viewer_cls = make_streaming(leecher_cls, PLAYBACK)
+    freerider_cls = make_freerider(leecher_cls, FreeRiderOptions())
+    viewers = []
+
+    def viewer_factory():
+        viewer = viewer_cls(swarm)
+        viewers.append(viewer)
+        return viewer
+
+    n_free = round(freerider_fraction * VIEWERS)
+    factories = [viewer_factory] * (VIEWERS - n_free) \
+        + [lambda: freerider_cls(swarm)] * n_free
+    swarm.sim.rng.shuffle(factories)
+    schedule_arrivals(swarm, flash_crowd(factories, swarm.sim.rng))
+    swarm.run(max_time=3000.0)
+    return streaming_metrics(viewers, swarm.sim.now)
+
+
+def main() -> None:
+    rows = []
+    for protocol in ("bittorrent", "tchain"):
+        for fraction in (0.0, 0.3):
+            report = run(protocol, fraction)
+            rows.append((
+                protocol, f"{fraction:.0%}",
+                f"{report.finished}/{report.viewers}",
+                round(report.mean_startup_s or 0.0, 1),
+                round(report.mean_stalls, 1),
+                round(report.mean_stall_time_s, 1),
+                f"{report.mean_continuity:.1%}",
+            ))
+    print(format_table(
+        ["protocol", "free-riders", "finished", "startup (s)",
+         "stalls", "stall time (s)", "continuity"],
+        rows,
+        title="VoD viewer QoE (72 s stream, flash-crowd audience)"))
+    print("\nT-Chain pays a little startup latency (the first pieces "
+          "need a reciprocation round-trip)\nbut keeps continuity "
+          "under free-riding — the chain machinery protects the "
+          "playhead.")
+
+
+if __name__ == "__main__":
+    main()

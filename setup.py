@@ -1,0 +1,11 @@
+"""Setup shim for legacy editable installs.
+
+The offline environment lacks the ``wheel`` package, so PEP 660
+editable installs fail; ``pip install -e . --no-build-isolation``
+falls back to ``setup.py develop`` through this shim.  All metadata
+lives in pyproject.toml.
+"""
+
+from setuptools import setup
+
+setup()

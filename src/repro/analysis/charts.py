@@ -1,0 +1,77 @@
+"""ASCII charts for terminal-friendly figure output.
+
+The benchmark harness and the CLI render the paper's figures as text
+(this environment is offline and headless; matplotlib is deliberately
+not a dependency).  Two primitives cover everything the figures need:
+a horizontal bar chart for per-category comparisons and an x/y line
+plot for time series and sweeps.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional, Sequence, Tuple
+
+
+def bar_chart(items: Sequence[Tuple[str, float]],
+              width: int = 40,
+              title: Optional[str] = None,
+              unit: str = "") -> str:
+    """Horizontal bar chart; bar lengths scaled to the maximum."""
+    items = list(items)
+    if not items:
+        return title or ""
+    label_width = max(len(str(label)) for label, _ in items)
+    peak = max((value for _, value in items), default=0.0)
+    lines = []
+    if title:
+        lines.append(title)
+    for label, value in items:
+        length = 0 if peak <= 0 else round(width * value / peak)
+        bar = "#" * length
+        lines.append(f"{str(label).ljust(label_width)}  "
+                     f"{bar} {value:g}{unit}")
+    return "\n".join(lines)
+
+
+def line_plot(series: Sequence[Tuple[str, Sequence[Tuple[float, float]]]],
+              width: int = 60, height: int = 16,
+              title: Optional[str] = None,
+              x_label: str = "x", y_label: str = "y") -> str:
+    """Multi-series scatter/line plot on a character grid.
+
+    Each series gets a marker (``*``, ``o``, ``+``, ``x``, ...);
+    overlapping points show the later series' marker.
+    """
+    markers = "*o+x@%&="
+    points = [(name, list(pts)) for name, pts in series if pts]
+    if not points:
+        return title or ""
+    xs = [x for _, pts in points for x, _ in pts]
+    ys = [y for _, pts in points for _, y in pts]
+    x_lo, x_hi = min(xs), max(xs)
+    y_lo, y_hi = min(ys), max(ys)
+    x_span = (x_hi - x_lo) or 1.0
+    y_span = (y_hi - y_lo) or 1.0
+    grid = [[" "] * width for _ in range(height)]
+    for index, (name, pts) in enumerate(points):
+        marker = markers[index % len(markers)]
+        for x, y in pts:
+            col = round((x - x_lo) / x_span * (width - 1))
+            row = height - 1 - round((y - y_lo) / y_span * (height - 1))
+            grid[row][col] = marker
+    lines = []
+    if title:
+        lines.append(title)
+    legend = "  ".join(
+        f"{markers[i % len(markers)]}={name}"
+        for i, (name, _) in enumerate(points))
+    lines.append(legend)
+    lines.append(f"{y_hi:>10.3g} ┤" + "".join(grid[0]))
+    for row in grid[1:-1]:
+        lines.append(" " * 10 + " │" + "".join(row))
+    lines.append(f"{y_lo:>10.3g} ┤" + "".join(grid[-1]))
+    lines.append(" " * 12 + "└" + "─" * width)
+    lines.append(" " * 12 + f"{x_lo:<.4g}"
+                 + " " * max(1, width - 16)
+                 + f"{x_hi:>.4g}  [{x_label} vs {y_label}]")
+    return "\n".join(lines)

@@ -1,0 +1,173 @@
+"""Per-peer and per-swarm measurements.
+
+Every metric the paper's evaluation plots is derived from the
+:class:`PeerRecord` rows collected here:
+
+* download completion time (Figs. 3(a), 4, 7, 8, 9);
+* uplink utilization (Fig. 3(b));
+* fairness factor = pieces downloaded / pieces uploaded (Fig. 12);
+* download throughput (Fig. 13).
+
+Records are written when a peer leaves the swarm or when the
+simulation ends (for peers still active, e.g. free-riders that never
+finish under T-Chain).
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import List, Optional
+
+
+@dataclass
+class PeerRecord:
+    """Final accounting for one peer."""
+
+    peer_id: str
+    kind: str  # "leecher" | "seeder" | "freerider" | ...
+    capacity_kbps: float
+    join_time: float
+    finish_time: Optional[float]
+    leave_time: Optional[float]
+    kb_uploaded: float
+    kb_downloaded: float
+    pieces_uploaded: int
+    pieces_downloaded: int
+    pieces_completed: int
+    utilization: float
+
+    @property
+    def completed(self) -> bool:
+        """Did the peer finish its download?"""
+        return self.finish_time is not None
+
+    @property
+    def completion_time(self) -> Optional[float]:
+        """Seconds from join to finish, or None."""
+        if self.finish_time is None:
+            return None
+        return self.finish_time - self.join_time
+
+    @property
+    def fairness_factor(self) -> Optional[float]:
+        """Pieces downloaded per piece uploaded (Sec. IV-H).
+
+        None when the peer uploaded nothing (division undefined; the
+        paper's CDF only includes contributing leechers).
+        """
+        if self.pieces_uploaded == 0:
+            return None
+        return self.pieces_downloaded / self.pieces_uploaded
+
+    def throughput_kbps(self, horizon_s: float) -> float:
+        """Average payload download rate over a time horizon."""
+        if horizon_s <= 0:
+            return 0.0
+        return self.kb_downloaded * 8.0 / horizon_s
+
+
+class SwarmMetrics:
+    """Collects :class:`PeerRecord` rows for a swarm run."""
+
+    def __init__(self):
+        self.records: List[PeerRecord] = []
+
+    def record_peer(self, peer, now: float) -> None:
+        """Snapshot a peer at departure (or at simulation end)."""
+        self.records.append(PeerRecord(
+            peer_id=peer.id,
+            kind=peer.kind,
+            capacity_kbps=peer.uplink.capacity_kbps,
+            join_time=peer.join_time if peer.join_time is not None else 0.0,
+            finish_time=peer.finish_time,
+            leave_time=peer.leave_time,
+            kb_uploaded=peer.kb_uploaded,
+            kb_downloaded=peer.kb_downloaded,
+            pieces_uploaded=peer.pieces_uploaded,
+            pieces_downloaded=peer.pieces_downloaded,
+            pieces_completed=peer.book.completed_count,
+            utilization=peer.uplink.utilization(now),
+        ))
+
+    def finalize_active(self, swarm) -> None:
+        """Record peers still active when the run ends."""
+        recorded = {r.peer_id for r in self.records}
+        for peer in swarm.peers.values():
+            if peer.id not in recorded:
+                self.record_peer(peer, swarm.sim.now)
+
+    # ------------------------------------------------------------------
+    # Selections
+    # ------------------------------------------------------------------
+    def by_kind(self, *kinds: str) -> List[PeerRecord]:
+        """Records whose kind is in ``kinds``."""
+        return [r for r in self.records if r.kind in kinds]
+
+    def compliant_leechers(self) -> List[PeerRecord]:
+        """Ordinary protocol-following leechers."""
+        return self.by_kind("leecher")
+
+    def freeriders(self) -> List[PeerRecord]:
+        """All free-riding variants."""
+        return [r for r in self.records
+                if r.kind not in ("leecher", "seeder")]
+
+    # ------------------------------------------------------------------
+    # Aggregates
+    # ------------------------------------------------------------------
+    def completion_times(self, kind: str = "leecher") -> List[float]:
+        """Completion times of finished peers of a kind."""
+        return [r.completion_time for r in self.by_kind(kind)
+                if r.completion_time is not None]
+
+    def mean_completion_time(self, kind: str = "leecher"
+                             ) -> Optional[float]:
+        """Average completion time, or None if nobody finished."""
+        times = self.completion_times(kind)
+        if not times:
+            return None
+        return sum(times) / len(times)
+
+    def completion_rate(self, kind: str = "leecher") -> float:
+        """Fraction of peers of a kind that finished."""
+        rows = self.by_kind(kind)
+        if not rows:
+            return 0.0
+        return sum(1 for r in rows if r.completed) / len(rows)
+
+    def mean_utilization(self, kind: str = "leecher") -> Optional[float]:
+        """Average uplink utilization."""
+        rows = [r.utilization for r in self.by_kind(kind)
+                if r.capacity_kbps > 0]
+        if not rows:
+            return None
+        return sum(rows) / len(rows)
+
+    def fairness_factors(self, kind: str = "leecher") -> List[float]:
+        """Defined fairness factors of a kind."""
+        return [r.fairness_factor for r in self.by_kind(kind)
+                if r.fairness_factor is not None]
+
+
+def cdf_points(values: List[float]) -> List[tuple]:
+    """(value, cumulative fraction) pairs for plotting a CDF."""
+    if not values:
+        return []
+    ordered = sorted(values)
+    n = len(ordered)
+    return [(v, (i + 1) / n) for i, v in enumerate(ordered)]
+
+
+def gini(values: List[float]) -> float:
+    """Gini coefficient — a scalar unfairness summary used by the
+    fairness ablations (0 = perfectly equal)."""
+    xs = sorted(v for v in values if not math.isnan(v))
+    n = len(xs)
+    if n == 0:
+        return 0.0
+    total = sum(xs)
+    if total == 0:
+        return 0.0
+    weighted = sum((i + 1) * x for i, x in enumerate(xs))
+    return (2.0 * weighted) / (n * total) - (n + 1.0) / n

@@ -1,0 +1,84 @@
+"""Small statistics helpers for multi-seed experiment summaries.
+
+The paper reports means with 95 % confidence intervals over 30 runs;
+:func:`confidence_interval_95` reproduces that (normal approximation,
+which is what error bars over 30 runs amount to).
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import List, Optional, Sequence
+
+#: two-sided 97.5 % normal quantile
+_Z_975 = 1.959963984540054
+
+
+def mean(values: Sequence[float]) -> float:
+    """Arithmetic mean; 0.0 for an empty sequence."""
+    values = list(values)
+    if not values:
+        return 0.0
+    return sum(values) / len(values)
+
+
+def stddev(values: Sequence[float]) -> float:
+    """Sample standard deviation (n-1); 0.0 below two samples."""
+    values = list(values)
+    n = len(values)
+    if n < 2:
+        return 0.0
+    mu = mean(values)
+    return math.sqrt(sum((v - mu) ** 2 for v in values) / (n - 1))
+
+
+def confidence_interval_95(values: Sequence[float]) -> float:
+    """Half-width of the 95 % CI of the mean."""
+    values = list(values)
+    n = len(values)
+    if n < 2:
+        return 0.0
+    return _Z_975 * stddev(values) / math.sqrt(n)
+
+
+@dataclass(frozen=True)
+class Summary:
+    """Mean ± 95 % CI over runs."""
+
+    mean: float
+    ci95: float
+    n: int
+    minimum: float
+    maximum: float
+
+    def __str__(self) -> str:
+        return f"{self.mean:.1f} ± {self.ci95:.1f} (n={self.n})"
+
+
+def summarize(values: Sequence[float]) -> Optional[Summary]:
+    """Summary statistics, or None for empty input."""
+    values = [v for v in values if v is not None]
+    if not values:
+        return None
+    return Summary(mean=mean(values),
+                   ci95=confidence_interval_95(values),
+                   n=len(values),
+                   minimum=min(values),
+                   maximum=max(values))
+
+
+def percentile(values: Sequence[float], q: float) -> float:
+    """Linear-interpolated percentile, q in [0, 100]."""
+    xs = sorted(values)
+    if not xs:
+        raise ValueError("empty input")
+    if not 0 <= q <= 100:
+        raise ValueError("q must be in [0, 100]")
+    pos = (len(xs) - 1) * q / 100.0
+    lo = int(math.floor(pos))
+    hi = int(math.ceil(pos))
+    if lo == hi:
+        return xs[lo]
+    frac = pos - lo
+    return xs[lo] * (1 - frac) + xs[hi] * frac

@@ -1,0 +1,29 @@
+"""Free-riding strategies evaluated in Section IV.
+
+All attacker classes are built by wrapping the compliant leecher of a
+protocol (:func:`make_freerider`), then layering strategic behaviours
+on top:
+
+* zero upload contribution (the base free-rider, Sec. IV-C);
+* the large-view exploit — harvest fresh neighbors every rechoke
+  period and accept unlimited connections [23], [24];
+* whitewashing — reset identity after every received piece, wiping
+  neighbors' local history [13], [25];
+* the Sybil attack — several identities pooling one download [25];
+* collusion — T-Chain payees filing false reception reports for
+  fellow colluders (Sec. III-A4 / Fig. 8).
+"""
+
+from repro.attacks.freerider import (
+    FreeRiderOptions,
+    make_freerider,
+    make_freerider_factory,
+)
+from repro.attacks.sybil import make_sybil_group
+
+__all__ = [
+    "FreeRiderOptions",
+    "make_freerider",
+    "make_freerider_factory",
+    "make_sybil_group",
+]

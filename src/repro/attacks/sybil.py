@@ -1,0 +1,44 @@
+"""The Sybil attack: one attacker, many identities.
+
+A Sybil attacker runs ``m`` apparent peers that pool a single piece
+book: anything any identity downloads benefits all of them.  Against
+altruism-based schemes this multiplies the attacker's share of
+optimistic unchokes; against T-Chain the identities are just more
+requestors that never reciprocate, and (per Sec. III-A4) a Sybil pair
+can only cheat when one identity is the requestor and another the
+payee of the same transaction — the probability the paper bounds by
+P_s (see :mod:`repro.models.collusion`).
+
+Sybil identities built here are free-riders; in T-Chain swarms they
+register as colluders so a designated Sybil payee files false reports
+for its siblings — the mechanism the Sybil attack reduces to.
+"""
+
+from __future__ import annotations
+
+from typing import List, Type
+
+from repro.attacks.freerider import FreeRiderOptions, make_freerider
+from repro.bt.torrent import PieceBook
+
+
+def make_sybil_group(swarm, leecher_cls: Type, size: int,
+                     options: FreeRiderOptions = FreeRiderOptions(
+                         large_view=True, whitewash=False, collude=True),
+                     ) -> List:
+    """Create ``size`` Sybil identities sharing one piece book.
+
+    The peers are constructed but not joined; callers schedule their
+    arrivals.  All identities share the same :class:`PieceBook`, so a
+    piece completed by any of them counts for all.
+    """
+    if size < 1:
+        raise ValueError("a Sybil group needs at least one identity")
+    cls = make_freerider(leecher_cls, options)
+    shared_book = PieceBook(swarm.torrent)
+    group = []
+    for _ in range(size):
+        peer = cls(swarm, peer_id=swarm.new_peer_id("Y"))
+        peer.book = shared_book
+        group.append(peer)
+    return group

@@ -1,0 +1,15 @@
+"""BitTorrent substrate and the evaluated protocols.
+
+This package contains everything the paper's Section IV experiments
+run on: the swarm machinery (tracker, topology-driven peer lifecycle,
+piece bookkeeping, tit-for-tat choking) and the five protocol
+implementations — original BitTorrent, PropShare, FairTorrent, Random
+BitTorrent, and T-Chain applied to BitTorrent.
+"""
+
+from repro.bt.config import SwarmConfig
+from repro.bt.swarm import Swarm
+from repro.bt.torrent import Torrent
+from repro.bt.tracker import Tracker
+
+__all__ = ["Swarm", "SwarmConfig", "Torrent", "Tracker"]

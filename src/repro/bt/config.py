@@ -1,0 +1,79 @@
+"""Swarm configuration.
+
+Defaults follow the paper's simulation setup (Sec. IV-A):
+
+* seeder upload 6000 Kbps, staying for the whole run;
+* leecher uplinks heterogeneous, 400–1200 Kbps;
+* 256 KB pieces for BitTorrent/PropShare, 64 KB for T-Chain and
+  FairTorrent (FairTorrent's basic exchange unit);
+* tracker returns 50 random members, refill below 30 neighbors,
+  at most 55 neighbors;
+* rechoke every 10 s, optimistic unchoke every 30 s;
+* flow-control window k = 2.
+
+The 16 KB *blocks* of BitTorrent/PropShare are not separately
+simulated; a piece transfer is the atomic unit (see DESIGN.md).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Optional, Sequence
+
+#: Paper values (Sec. IV-A): leecher upload bandwidths vary 400-1200 Kbps.
+DEFAULT_LEECHER_CAPACITIES = (400.0, 600.0, 800.0, 1000.0, 1200.0)
+
+
+@dataclass
+class SwarmConfig:
+    """All tunables of a swarm simulation.
+
+    Attributes mirror Sec. IV-A; see module docstring.  ``n_pieces``
+    plus ``piece_size_kb`` define the shared file (the paper's default
+    is 128 MB: 512 pieces of 256 KB, or 2048 pieces of 64 KB for
+    T-Chain/FairTorrent).
+    """
+
+    n_pieces: int = 64
+    piece_size_kb: float = 256.0
+    seeder_capacity_kbps: float = 6000.0
+    leecher_capacities_kbps: Sequence[float] = DEFAULT_LEECHER_CAPACITIES
+    upload_slots: int = 4
+    optimistic_slots: int = 1  # BitTorrent/PropShare newcomer share (20 %)
+    seeder_slots: int = 5
+    rechoke_interval_s: float = 10.0
+    optimistic_interval_s: float = 30.0
+    tracker_list_size: int = 50
+    max_neighbors: int = 55
+    refill_threshold: int = 30
+    control_latency_s: float = 0.05
+    flow_control_k: int = 2
+    opportunistic_seeding: bool = True
+    indirect_reciprocity: bool = True
+    newcomer_bootstrap: bool = True
+    real_crypto: bool = False
+    freeriders_send_reports: bool = True
+    seed: int = 0
+    max_sim_time_s: Optional[float] = None
+    chain_sample_interval_s: float = 10.0
+    extra: dict = field(default_factory=dict)
+
+    @property
+    def file_size_mb(self) -> float:
+        """Size of the shared file in MB."""
+        return self.n_pieces * self.piece_size_kb / 1024.0
+
+    @property
+    def total_upload_slots(self) -> int:
+        """Slots on a BitTorrent-style uplink (regular + optimistic)."""
+        return self.upload_slots + self.optimistic_slots
+
+    def piece_transfer_time(self, capacity_kbps: float,
+                            n_slots: int) -> float:
+        """Seconds to push one piece over one slot of ``capacity/n``."""
+        return self.piece_size_kb * 8.0 / (capacity_kbps / n_slots)
+
+    def with_overrides(self, **kwargs) -> "SwarmConfig":
+        """A copy with the given fields replaced."""
+        from dataclasses import replace
+        return replace(self, **kwargs)

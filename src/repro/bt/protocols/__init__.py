@@ -1,0 +1,47 @@
+"""The five evaluated protocols.
+
+Each module provides a seeder and a leecher class on top of
+:class:`repro.bt.peer.Peer`.  :data:`PROTOCOLS` is the registry the
+experiment harness uses to instantiate them by name.
+"""
+
+from repro.bt.protocols.base import BaselineSeeder
+from repro.bt.protocols.bittorrent import BitTorrentLeecher
+from repro.bt.protocols.dandelion import (
+    CreditBank,
+    DandelionLeecher,
+    DandelionSeeder,
+)
+from repro.bt.protocols.eigentrust import EigenTrustLeecher, TrustAuthority
+from repro.bt.protocols.fairtorrent import FairTorrentLeecher
+from repro.bt.protocols.propshare import PropShareLeecher
+from repro.bt.protocols.random_bt import RandomBTLeecher
+from repro.bt.protocols.tchain import TChainLeecher, TChainSeeder, TChainState
+
+#: protocol name -> (seeder class, leecher class)
+PROTOCOLS = {
+    "bittorrent": (BaselineSeeder, BitTorrentLeecher),
+    "propshare": (BaselineSeeder, PropShareLeecher),
+    "fairtorrent": (BaselineSeeder, FairTorrentLeecher),
+    "random": (BaselineSeeder, RandomBTLeecher),
+    "eigentrust": (BaselineSeeder, EigenTrustLeecher),
+    "dandelion": (DandelionSeeder, DandelionLeecher),
+    "tchain": (TChainSeeder, TChainLeecher),
+}
+
+__all__ = [
+    "PROTOCOLS",
+    "BaselineSeeder",
+    "BitTorrentLeecher",
+    "CreditBank",
+    "DandelionLeecher",
+    "DandelionSeeder",
+    "EigenTrustLeecher",
+    "FairTorrentLeecher",
+    "PropShareLeecher",
+    "RandomBTLeecher",
+    "TChainLeecher",
+    "TChainSeeder",
+    "TChainState",
+    "TrustAuthority",
+]

@@ -1,0 +1,955 @@
+"""T-Chain applied to BitTorrent (Sections II and III of the paper).
+
+This module wires the pure-logic core (:mod:`repro.core`) into the
+swarm simulator.  The moving parts, mapped to the paper:
+
+* **Initiation** — :class:`TChainSeeder` starts a chain on every free
+  upload slot: random flow-eligible requestor, payee designation,
+  encrypted upload (Fig. 1(a)).
+* **Continuation** — on receiving an encrypted piece, a leecher queues
+  an *obligation* to upload to the designated payee; fulfilling it is
+  itself the next transaction (Fig. 1(b)).
+* **Termination** — a donor that can find no payee uploads an
+  unencrypted piece, releasing the receiver (Fig. 1(c)).
+* **Newcomer bootstrapping** — a requestor with no completed pieces is
+  served a piece both it and the payee need, which it reciprocates by
+  forwarding the still-encrypted piece (Sec. II-D1).
+* **Flow control** — per-neighbor pending window k = 2 (Sec. II-D2).
+* **Opportunistic seeding** — an idle leecher with completed pieces and
+  no outstanding uploads initiates its own chain (Sec. II-D3).
+* **Departure handling** — key handovers and payee reassignment
+  (Sec. II-B4).
+
+Control messages (reception reports, key releases) travel with
+``config.control_latency_s`` delay and zero bandwidth (Sec. III-C).
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Set, Tuple, TYPE_CHECKING
+
+from repro.bt.peer import Peer, UploadPlan
+from repro.bt.protocols.base import BaselineLeecher
+from repro.bt.torrent import full_book, piece_payload
+from repro.core.bootstrap import select_bootstrap_piece
+from repro.core.chain import Chain, ChainRegistry
+from repro.core.exchange import ExchangeLedger
+from repro.core.flow_control import FlowController
+from repro.core.messages import EncryptedPieceMessage, PlainPieceMessage
+from repro.core.policy import (
+    PayeeDecision,
+    ReciprocityKind,
+    select_payee,
+    should_opportunistically_seed,
+)
+from repro.core.transaction import Transaction, TransactionState
+from repro.sim.events import PeriodicTask
+
+if TYPE_CHECKING:  # pragma: no cover
+    from repro.bt.swarm import Swarm
+
+#: Seconds after which an unreciprocated delivery to an *idle* requestor
+#: marks its chain terminated (bookkeeping for Figs. 10/11; the protocol
+#: itself needs no timeout — the free-rider is starved by flow control).
+DEFAULT_STALL_TIMEOUT_S = 300.0
+
+#: Retry cadence for obligations that could not be fulfilled right now
+#: (payee busy, reassignment churn): without a retry timer a peer with
+#: no other inbound events would sit on a fulfillable obligation.
+OBLIGATION_RETRY_S = 2.0
+
+#: Seconds a requestor waits for a decryption key *after reciprocating*
+#: before discarding the sealed piece and re-fetching it elsewhere.
+#: Keys normally arrive within ~2 control latencies, so this only fires
+#: when the reception report was swallowed (a payee that departed
+#: uncleanly or maliciously stays silent); without it one lost report
+#: would wedge the piece forever.
+DEFAULT_KEY_TIMEOUT_S = 60.0
+
+
+class TChainState:
+    """Shared per-swarm T-Chain state (ledger, chain registry, timers)."""
+
+    def __init__(self, swarm: "Swarm"):
+        config = swarm.config
+        self.swarm = swarm
+        self.registry = ChainRegistry()
+        self.ledger = ExchangeLedger(self.registry,
+                                     real_crypto=config.real_crypto)
+        self.handover: Set[int] = set()
+        self.colluders: Set[str] = set()
+        self.stall_timeout_s = config.extra.get(
+            "chain_stall_timeout_s", DEFAULT_STALL_TIMEOUT_S)
+        self.key_timeout_s = config.extra.get(
+            "key_timeout_s", DEFAULT_KEY_TIMEOUT_S)
+        self._sampler = PeriodicTask(
+            swarm.sim, config.chain_sample_interval_s,
+            lambda: self.registry.sample(swarm.sim.now),
+            first_delay=0.0)
+
+    @classmethod
+    def of(cls, swarm: "Swarm") -> "TChainState":
+        """The swarm's T-Chain state, created on first use."""
+        state = getattr(swarm, "_tchain_state", None)
+        if state is None:
+            state = cls(swarm)
+            swarm._tchain_state = state
+        return state
+
+    def are_colluders(self, a: str, b: str) -> bool:
+        """Are both peers in the colluder set?"""
+        return a in self.colluders and b in self.colluders
+
+
+class _TChainNode(Peer):
+    """Behaviour shared by T-Chain seeders and leechers (donor side)."""
+
+    def __init__(self, *args, **kwargs):
+        super().__init__(*args, **kwargs)
+        self.state = TChainState.of(self.swarm)
+        self.flow = FlowController(self.swarm.config.flow_control_k)
+        # Adaptive receiver selection, the "banned" half (Sec. II-D2):
+        # every written-off exchange is a strike; strikes back a
+        # neighbor off exponentially (stall, 2*stall, 4*stall, ...)
+        # and any reciprocation report clears them.  Honest peers
+        # never accumulate strikes; silent free-riders decay to
+        # nothing; colluders recycle at their false-report rate.
+        self._strikes: Dict[str, int] = {}
+        self._banned_until: Dict[str, float] = {}
+
+    #: Backoff cap: stall × 2^(strikes−1) saturates here, so a chronic
+    #: non-reciprocator is throttled to one donation per
+    #: MAX_BACKOFF_FACTOR × stall rather than banned without bound —
+    #: matching the paper's "slower than dial-up" trickle (Fig. 8).
+    MAX_BACKOFF_FACTOR = 16
+
+    def note_exchange_written_off(self, neighbor_id: str) -> None:
+        """A donation to this neighbor died unreciprocated."""
+        strikes = self._strikes.get(neighbor_id, 0) + 1
+        self._strikes[neighbor_id] = strikes
+        factor = min(2 ** (strikes - 1), self.MAX_BACKOFF_FACTOR)
+        backoff = self.state.stall_timeout_s * factor
+        self._banned_until[neighbor_id] = self.sim.now + backoff
+
+    def note_exchange_completed(self, neighbor_id: str) -> None:
+        """This neighbor reciprocated (or so a report claims)."""
+        self._strikes.pop(neighbor_id, None)
+        self._banned_until.pop(neighbor_id, None)
+
+    def cooperative(self, neighbor_id: str) -> bool:
+        """False while the neighbor is backed off."""
+        return self.sim.now >= self._banned_until.get(neighbor_id, 0.0)
+
+    def on_rescan(self) -> None:
+        """Connection management: a *seeder* whose neighbor table is
+        full snubs backed-off neighbors so useful peers can connect.
+
+        Without this, re-announcing large-view free-riders eclipse the
+        seeder the moment departures free its slots, and honest
+        stragglers whose remaining pieces only the seeder holds starve
+        behind a wall of attackers.  Ordinary leechers do NOT snub:
+        strikes against honest-but-slow peers are common enough that
+        leecher-side snubbing fragments the compliant topology and
+        slows everyone down (measured on the Fig. 9 trace workload).
+        """
+        if self.kind != "seeder":
+            return
+        topology = self.swarm.topology
+        if topology.degree(self.id) < topology.max_neighbors:
+            return
+        for neighbor_id in sorted(topology.neighbors(self.id)):
+            if not self.cooperative(neighbor_id) \
+                    and not self.uploading_to(neighbor_id):
+                topology.disconnect(self.id, neighbor_id)
+
+    def accepts_connection_from(self, peer_id: str) -> bool:
+        """A seeder refuses connections from peers it has backed off —
+        otherwise evicted large-view free-riders reconnect within one
+        announce period and re-eclipse it."""
+        if self.kind != "seeder":
+            return True
+        return self.cooperative(peer_id)
+
+    # ------------------------------------------------------------------
+    # Donor planning
+    # ------------------------------------------------------------------
+    def _eligible_requestors(self) -> List[str]:
+        """Neighbors we could start serving right now."""
+        mine = self.book.completed
+        result = []
+        for peer in self.neighbor_peers():
+            if self.uploading_to(peer.id):
+                continue
+            if not self.flow.eligible(peer.id):
+                continue
+            if not self.cooperative(peer.id):
+                continue
+            if peer.book.needs_from(mine):
+                result.append(peer.id)
+        return sorted(result)
+
+    def _payee_candidates(self, requestor: Peer,
+                          offered: Set[int]) -> List[str]:
+        """Our neighbors that need ≥1 of the requestor's pieces
+        (including the piece about to be uploaded), Sec. II-B2."""
+        available = set(requestor.book.completed) | offered
+        result = []
+        for peer in self.neighbor_peers():
+            if peer.id in (self.id, requestor.id):
+                continue
+            if not self.cooperative(peer.id):
+                continue
+            if peer.book.wanted() & available:
+                result.append(peer.id)
+        return sorted(result)
+
+    def _plan_donation(self, requestor_id: str,
+                       reciprocates: Optional[Transaction] = None,
+                       forward_of: Optional[Transaction] = None,
+                       ) -> Optional[UploadPlan]:
+        """Build the upload plan for serving ``requestor_id``.
+
+        ``reciprocates`` is the transaction this upload fulfils (we
+        were its requestor); ``forward_of`` marks the newcomer forward
+        case, fixing the piece.  Returns None when the requestor
+        cannot be served; the caller decides what that means.
+        """
+        config = self.swarm.config
+        requestor = self.swarm.find_peer(requestor_id)
+        if requestor is None or not requestor.active:
+            return None
+
+        piece: Optional[int] = None
+        decision: Optional[PayeeDecision] = None
+
+        if forward_of is not None:
+            # Newcomer forwarding: the piece is fixed.
+            piece = forward_of.piece_index
+            if piece not in requestor.book.wanted() \
+                    and not requestor.book.is_expected(piece):
+                return None
+            if requestor.book.is_expected(piece) \
+                    and piece not in requestor.book.wanted():
+                # Someone else is already delivering it.
+                return None
+            decision = self._decide_payee(requestor, {piece})
+        elif config.newcomer_bootstrap \
+                and requestor.book.completed_count == 0 \
+                and self.book.completed_count > 0:
+            # Both-need rule (Sec. II-D1): pick payee and piece jointly.
+            piece, decision = self._decide_bootstrap(requestor)
+            if piece is None:
+                # No both-need combination: fall back to plain LRF.
+                piece = requestor.choose_piece_from(self)
+                if piece is None:
+                    return None
+                decision = self._decide_payee(requestor, {piece})
+        else:
+            piece = requestor.choose_piece_from(self)
+            if piece is None:
+                return None
+            decision = self._decide_payee(requestor, {piece})
+
+        return self._materialize(requestor, piece, decision,
+                                 reciprocates, forward_of)
+
+    def _decide_payee(self, requestor: Peer,
+                      offered: Set[int]) -> PayeeDecision:
+        config = self.swarm.config
+        direct_possible = bool(
+            self.book.wanted() & requestor.book.completed)
+        if not config.indirect_reciprocity:
+            candidates: List[str] = []
+        else:
+            candidates = self._payee_candidates(requestor, offered)
+        decision = select_payee(self.id, requestor.id, direct_possible,
+                                candidates, self.flow, self.sim.rng)
+        if decision.terminates_chain and candidates:
+            # Someone *does* need the requestor's pieces, they are just
+            # all over their flow window.  Terminating here would gift
+            # a plaintext piece; instead keep the exchange encrypted
+            # and pick the least-loaded candidate (the alternative
+            # selection rule of Sec. II-D2).
+            pool = self.flow.least_loaded(candidates)
+            pool = [c for c in pool
+                    if c not in (self.id, requestor.id)]
+            if pool:
+                return PayeeDecision(ReciprocityKind.INDIRECT,
+                                     self.sim.rng.choice(sorted(pool)))
+        return decision
+
+    def _decide_bootstrap(self, requestor: Peer
+                          ) -> Tuple[Optional[int],
+                                     Optional[PayeeDecision]]:
+        """Joint payee+piece choice for a newcomer requestor."""
+        usable = self.book.completed & requestor.book.wanted()
+        if not usable:
+            return None, None
+        candidates = []
+        for peer in self.neighbor_peers():
+            if peer.id in (self.id, requestor.id):
+                continue
+            if not self.flow.eligible(peer.id):
+                continue
+            if not self.cooperative(peer.id):
+                continue
+            if usable & peer.book.wanted():
+                candidates.append(peer.id)
+        if not candidates:
+            return None, None
+        payee_id = self.sim.rng.choice(sorted(candidates))
+        payee = self.swarm.find_peer(payee_id)
+        piece = select_bootstrap_piece(
+            self.book.completed, requestor.book.wanted(),
+            payee.book.wanted(), self.sim.rng)
+        return piece, PayeeDecision(ReciprocityKind.INDIRECT, payee_id)
+
+    def _materialize(self, requestor: Peer, piece: int,
+                     decision: PayeeDecision,
+                     reciprocates: Optional[Transaction],
+                     forward_of: Optional[Transaction]
+                     ) -> Optional[UploadPlan]:
+        """Create the ledger transaction and the upload plan."""
+        ledger = self.state.ledger
+        now = self.sim.now
+        if reciprocates is not None:
+            chain = ledger.registry.get(reciprocates.chain_id)
+            if not chain.active:
+                # A watchdog or cancellation wrote the chain off while
+                # this reciprocation was still pending; it lives on.
+                ledger.registry.revive(chain.chain_id)
+        else:
+            chain = None  # lazily created below
+
+        if decision.terminates_chain:
+            if not self._may_terminate(reciprocates):
+                return None
+            if chain is None:
+                chain = ledger.begin_chain(self.id, self.kind == "seeder",
+                                           now)
+            tx, _ = ledger.create_transaction(
+                chain, self.id, requestor.id, None, piece, now,
+                reciprocates=(reciprocates.transaction_id
+                              if reciprocates else None),
+                encrypted=False)
+            payload = PlainPieceMessage(
+                transaction_id=tx.transaction_id, chain_id=chain.chain_id,
+                piece_index=piece, donor_id=self.id,
+                requestor_id=requestor.id,
+                reciprocates=tx.reciprocates)
+            return UploadPlan(receiver_id=requestor.id, piece=piece,
+                              payload=payload,
+                              meta={"tx": tx.transaction_id})
+
+        if chain is None:
+            chain = ledger.begin_chain(self.id, self.kind == "seeder", now)
+        payload_bytes = None
+        if ledger.real_crypto and forward_of is None:
+            payload_bytes = piece_payload(self.swarm.torrent, piece)
+        tx, sealed = ledger.create_transaction(
+            chain, self.id, requestor.id, decision.payee_id, piece, now,
+            reciprocates=(reciprocates.transaction_id
+                          if reciprocates else None),
+            direct=decision.kind is ReciprocityKind.DIRECT,
+            forward_of=(forward_of.transaction_id
+                        if forward_of else None),
+            payload=payload_bytes)
+        payload = EncryptedPieceMessage(
+            transaction_id=tx.transaction_id, chain_id=chain.chain_id,
+            sealed=sealed, donor_id=self.id, requestor_id=requestor.id,
+            payee_id=decision.payee_id, reciprocates=tx.reciprocates)
+        return UploadPlan(receiver_id=requestor.id, piece=piece,
+                          payload=payload,
+                          meta={"tx": tx.transaction_id})
+
+    def _may_terminate(self, reciprocates: Optional[Transaction]) -> bool:
+        """May we upload unencrypted here?  Seeders and obligated
+        donors must (the protocol requires the upload); voluntary
+        donors simply decline instead of gifting pieces."""
+        return self.kind == "seeder" or reciprocates is not None
+
+    # ------------------------------------------------------------------
+    # Donor-side message handling
+    # ------------------------------------------------------------------
+    def on_upload_started(self, plan: UploadPlan) -> None:
+        if isinstance(plan.payload, EncryptedPieceMessage):
+            self.flow.on_piece_sent(plan.receiver_id)
+            timeout = self.state.stall_timeout_s
+            if timeout:
+                self.sim.schedule(timeout, _check_stall, self.state,
+                                  plan.payload.transaction_id)
+
+    def on_report(self, transaction_id: int, truthful: bool) -> None:
+        """A reception report arrived for a transaction we donated."""
+        ledger = self.state.ledger
+        tx = ledger.get(transaction_id)
+        if tx.state not in (TransactionState.RECIPROCATED,
+                            TransactionState.DELIVERED):
+            return  # duplicate / stale report
+        if tx.state is TransactionState.DELIVERED and truthful:
+            return  # truthful report cannot precede reciprocation
+        ledger.report_reciprocation(transaction_id, self.sim.now,
+                                    truthful=truthful)
+        if self.active and not tx.written_off:
+            self.flow.on_reciprocation_confirmed(tx.requestor_id)
+        if self.active:
+            self.note_exchange_completed(tx.requestor_id)
+        key = ledger.release_key(transaction_id, self.sim.now)
+        requestor = self.swarm.find_peer(tx.requestor_id)
+        if requestor is not None and requestor.active:
+            self.sim.schedule(self.swarm.config.control_latency_s,
+                              requestor.receive_key, transaction_id, key)
+        if self.active:
+            self.pump()
+
+    def receive_key(self, transaction_id: int, key) -> None:
+        """Leechers override; seeders never await keys."""
+
+    # ------------------------------------------------------------------
+    # Reassignment / forgiveness (Sec. II-B4)
+    # ------------------------------------------------------------------
+    def reassign_or_forgive(self, tx: Transaction, offerings: Set[int],
+                            exclude: frozenset = frozenset()
+                            ) -> Optional[str]:
+        """The designated payee is gone, satisfied or vetoed; as the
+        donor of ``tx`` pick a replacement payee that wants one of the
+        requestor's ``offerings``, or forgive the obligation.
+
+        ``exclude`` carries the requestor's veto list — neighbors whose
+        pending window at the requestor is full (uncooperative per the
+        requestor's own history, Sec. II-D2).  Returns the new payee
+        id, or None when forgiven.
+        """
+        ledger = self.state.ledger
+        candidates = []
+        direct = (bool(offerings & self.book.wanted()) and self.active
+                  and self.id not in exclude)
+        if direct:
+            new_payee: Optional[str] = self.id
+        else:
+            for peer in self.neighbor_peers():
+                if peer.id in (self.id, tx.requestor_id):
+                    continue
+                if peer.id in exclude:
+                    continue
+                if not self.flow.eligible(peer.id):
+                    continue
+                if not self.cooperative(peer.id):
+                    continue
+                if peer.book.wanted() & offerings:
+                    candidates.append(peer.id)
+            new_payee = (self.sim.rng.choice(sorted(candidates))
+                         if candidates else None)
+        if new_payee is None:
+            key = ledger.forgive(tx.transaction_id, self.sim.now)
+            if self.active:
+                self.flow.on_reciprocation_confirmed(tx.requestor_id)
+            requestor = self.swarm.find_peer(tx.requestor_id)
+            if requestor is not None and requestor.active:
+                self.sim.schedule(self.swarm.config.control_latency_s,
+                                  requestor.receive_key,
+                                  tx.transaction_id, key)
+            ledger.terminate_chain(tx.chain_id, self.sim.now)
+            return None
+        ledger.reassign_payee(tx.transaction_id, new_payee)
+        return new_payee
+
+    # ------------------------------------------------------------------
+    # Departure (Sec. II-B4)
+    # ------------------------------------------------------------------
+    def on_upload_cancelled(self, plan: UploadPlan) -> None:
+        """The receiver departed mid-transfer: drop the transaction.
+
+        Chain-initiating uploads take their chain with them; cancelled
+        *reciprocations* leave the chain alive — the leecher override
+        re-queues the obligation so a replacement payee can be found.
+        """
+        tx_id = plan.meta.get("tx")
+        if tx_id is None:
+            return
+        ledger = self.state.ledger
+        tx = ledger.get(tx_id)
+        if tx.state is TransactionState.CREATED:
+            ledger.abort(tx_id, self.sim.now)
+            if tx.reciprocates is None:
+                ledger.terminate_chain(tx.chain_id, self.sim.now)
+
+    def on_leave(self) -> None:
+        ledger = self.state.ledger
+        for tx in ledger.open_transactions_involving(self.id):
+            if tx.donor_id == self.id and tx.encrypted:
+                if tx.state is TransactionState.CREATED:
+                    # Our upload is being cancelled by the departure.
+                    ledger.abort(tx.transaction_id, self.sim.now)
+                    ledger.terminate_chain(tx.chain_id, self.sim.now)
+                elif tx.state is TransactionState.DELIVERED:
+                    payee = self.swarm.find_peer(tx.payee_id) \
+                        if tx.payee_id else None
+                    if (payee is None or not payee.active
+                            or tx.payee_id == self.id):
+                        # Departed/self payee: pick a replacement
+                        # before we go (Sec. II-B4).
+                        payee = self._replacement_payee_for(tx)
+                        if payee is not None:
+                            self.state.ledger.reassign_payee(
+                                tx.transaction_id, payee.id)
+                    if payee is not None:
+                        # Hand the key to the payee on the way out.
+                        self.state.handover.add(tx.transaction_id)
+                    else:
+                        # Nobody to hand the key to: the exchange dies
+                        # with us.  No key is gifted — the requestor
+                        # drops the sealed piece and re-fetches it.
+                        self._abort_on_departure(tx)
+                elif tx.state is TransactionState.RECIPROCATED:
+                    # The report is in flight; on_report still works
+                    # after we leave (the key was sent on our way out).
+                    pass
+        super().on_leave()
+
+    def _replacement_payee_for(self, tx: Transaction):
+        """A live neighbor that needs something from ``tx``'s
+        requestor, eligible to become the replacement payee."""
+        requestor = self.swarm.find_peer(tx.requestor_id)
+        if requestor is None or not requestor.active:
+            return None
+        offerings = set(requestor.book.completed)
+        offerings.add(tx.piece_index)
+        candidates = []
+        for peer in self.neighbor_peers():
+            if peer.id in (self.id, tx.requestor_id):
+                continue
+            if peer.book.wanted() & offerings:
+                candidates.append(peer)
+        if not candidates:
+            return None
+        candidates.sort(key=lambda p: p.id)
+        return self.sim.rng.choice(candidates)
+
+    def _abort_on_departure(self, tx: Transaction) -> None:
+        ledger = self.state.ledger
+        ledger.abort(tx.transaction_id, self.sim.now)
+        ledger.terminate_chain(tx.chain_id, self.sim.now)
+        _drop_sealed_at_requestor(self.state, tx)
+
+
+def _check_stall(state: TChainState, transaction_id: int) -> None:
+    """Watchdog marking chains stalled by idle requestors terminated
+    (metrics bookkeeping only — see DEFAULT_STALL_TIMEOUT_S)."""
+    ledger = state.ledger
+    tx = ledger.get(transaction_id)
+    if tx.state is TransactionState.ABORTED:
+        # Aborted before ever being reciprocated (e.g. the requestor
+        # discarded the sealed piece): dead exchange, write it off.
+        _write_off(state, tx)
+        return
+    if tx.state is not TransactionState.DELIVERED:
+        return
+    chain = state.registry.get(tx.chain_id)
+    if not chain.active:
+        return
+    requestor = state.swarm.find_peer(tx.requestor_id)
+    if requestor is None or not requestor.active:
+        ledger.terminate_chain(tx.chain_id, state.swarm.sim.now)
+        _write_off(state, tx)
+        return
+    if tx.transaction_id in getattr(requestor, "obligations", ()):
+        # The requestor still has the obligation queued: it is trying
+        # (slow uplink, payee churn), not refusing.  Striking honest
+        # 400 Kbps stragglers would exile them for the backoff period;
+        # look again later instead.  (Free-riders do not linger here:
+        # they discard the sealed piece, the transaction aborts, and
+        # the write-off lands through the ABORTED branch above.)
+        state.swarm.sim.schedule(state.stall_timeout_s, _check_stall,
+                                 state, transaction_id)
+        return
+    if requestor.uplink.busy_slots == 0:
+        # Idle but not reciprocating: free-riding; the chain is dead.
+        # The donor writes the exchange off its pending window — the
+        # dead transaction no longer counts as outstanding (the
+        # free-rider's next window fills just as fast, so it stays
+        # starved of throughput rather than permanently banned).
+        ledger.terminate_chain(tx.chain_id, state.swarm.sim.now)
+        _write_off(state, tx)
+        return
+    # Busy (backlogged) requestor: look again later.
+    state.swarm.sim.schedule(state.stall_timeout_s, _check_stall,
+                             state, transaction_id)
+
+
+def _write_off(state: TChainState, tx: Transaction) -> None:
+    if tx.written_off or not tx.encrypted:
+        return
+    tx.written_off = True
+    donor = state.swarm.find_peer(tx.donor_id)
+    if donor is not None and donor.active \
+            and isinstance(donor, _TChainNode):
+        donor.flow.write_off(tx.requestor_id)
+        donor.note_exchange_written_off(tx.requestor_id)
+        donor.pump()
+
+
+class TChainSeeder(_TChainNode):
+    """A T-Chain seeder: initiates chains on every free slot."""
+
+    kind = "seeder"
+
+    def __init__(self, swarm: "Swarm", peer_id: Optional[str] = None,
+                 capacity_kbps: Optional[float] = None,
+                 n_slots: Optional[int] = None):
+        super().__init__(
+            swarm,
+            peer_id if peer_id is not None else swarm.new_peer_id("S"),
+            capacity_kbps if capacity_kbps is not None
+            else swarm.config.seeder_capacity_kbps,
+            n_slots if n_slots is not None else swarm.config.seeder_slots,
+            book=full_book(swarm.torrent))
+
+    def next_upload(self) -> Optional[UploadPlan]:
+        candidates = self._eligible_requestors()
+        while candidates:
+            requestor_id = self.sim.rng.choice(candidates)
+            plan = self._plan_donation(requestor_id)
+            if plan is not None:
+                return plan
+            candidates.remove(requestor_id)
+        return None
+
+
+class TChainLeecher(BaselineLeecher, _TChainNode):
+    """A compliant T-Chain leecher."""
+
+    kind = "leecher"
+
+    def __init__(self, swarm: "Swarm", peer_id: Optional[str] = None,
+                 capacity_kbps: Optional[float] = None):
+        super().__init__(swarm, peer_id, capacity_kbps,
+                         n_slots=swarm.config.upload_slots)
+        #: transaction ids whose reciprocation we still owe, FIFO
+        self.obligations: List[int] = []
+        self._retry_pending = False
+        #: tx id -> sealed piece held until the key arrives
+        self.pending_sealed: Dict[int, object] = {}
+        #: (time, piece, "encrypted"|"decrypted") for Fig. 5
+        self.piece_log: List[Tuple[float, int, str]] = []
+
+    # ------------------------------------------------------------------
+    # Serving
+    # ------------------------------------------------------------------
+    def next_upload(self) -> Optional[UploadPlan]:
+        plan = self._next_obligation_upload()
+        if plan is not None:
+            return plan
+        if self.swarm.config.opportunistic_seeding \
+                and should_opportunistically_seed(
+                    self.book.completed_count, len(self.obligations)):
+            return self._opportunistic_plan()
+        return None
+
+    def _next_obligation_upload(self) -> Optional[UploadPlan]:
+        ledger = self.state.ledger
+        for tx_id in list(self.obligations):
+            tx = ledger.get(tx_id)
+            if tx.state is not TransactionState.DELIVERED:
+                # Completed through forgiveness or collusion, or aborted.
+                self._drop_obligation(tx_id)
+                continue
+            plan = self._try_fulfil(tx)
+            if plan is not None:
+                self._drop_obligation(tx_id)
+                plan.meta["obligation"] = tx_id
+                return plan
+            if tx.state is not TransactionState.DELIVERED:
+                # _try_fulfil settled it (forgiven or aborted).
+                self._drop_obligation(tx_id)
+        if self.obligations:
+            self._schedule_obligation_retry()
+        return None
+
+    def _drop_obligation(self, tx_id: int) -> None:
+        if tx_id in self.obligations:
+            self.obligations.remove(tx_id)
+
+    def _schedule_obligation_retry(self) -> None:
+        if self._retry_pending:
+            return
+        self._retry_pending = True
+        self.sim.schedule(OBLIGATION_RETRY_S, self._retry_pump)
+
+    def _retry_pump(self) -> None:
+        self._retry_pending = False
+        if self.active:
+            self.pump()
+
+    def _try_fulfil(self, tx: Transaction) -> Optional[UploadPlan]:
+        """Attempt to reciprocate ``tx`` by uploading to its payee."""
+        forward = None
+        if self.book.completed_count == 0:
+            forward = tx  # newcomer: forward the sealed piece itself
+        offerings = set(self.book.completed)
+        if forward is not None:
+            offerings.add(tx.piece_index)
+
+        payee = self.swarm.find_peer(tx.payee_id)
+        # The payee is unusable if gone, satisfied, or — the adaptive
+        # receiver selection of Sec. II-D2, applied by the peer who
+        # actually holds the history — known to us as uncooperative
+        # (our own pending window on it is full).
+        payee_stale = (payee is None or not payee.active
+                       or not (payee.book.wanted() & offerings)
+                       or not self.flow.eligible(payee.id))
+        if payee_stale:
+            banned = set(
+                p.id for p in self.neighbor_peers()
+                if not self.flow.eligible(p.id))
+            if payee is not None:
+                banned.add(payee.id)  # whatever made it stale persists
+            banned = frozenset(banned)
+            donor = self.swarm.find_peer(tx.donor_id)
+            if donor is not None and donor.active:
+                holder = donor
+            elif tx.transaction_id in self.state.handover \
+                    and payee is not None and payee.active:
+                # The donor left and handed its key to the payee; the
+                # payee reassigns (or forgives) on the donor's behalf.
+                holder = payee
+            else:
+                _forgive_orphan(self.state, tx)
+                return None
+            new_payee = holder.reassign_or_forgive(tx, offerings,
+                                                   exclude=banned)
+            if new_payee is None:
+                return None
+            payee = self.swarm.find_peer(new_payee)
+            if payee is None or not payee.active:
+                return None
+        if payee.id == self.id:
+            # Direct reciprocity onto ourselves cannot be uploaded;
+            # only happens via reassignment races — forgive instead.
+            donor = self.swarm.find_peer(tx.donor_id)
+            if donor is not None and donor.active:
+                donor.reassign_or_forgive(tx, set())
+            else:
+                _forgive_orphan(self.state, tx)
+            return None
+        if self.uploading_to(payee.id):
+            return None  # busy with this receiver; retry on next pump
+        return self._plan_donation(payee.id, reciprocates=tx,
+                                   forward_of=forward)
+
+    def _opportunistic_plan(self) -> Optional[UploadPlan]:
+        """Initiate a chain ourselves (Sec. II-D3).
+
+        The initiating leecher "may, and probably will, designate
+        itself as the leecher to whom C must reciprocate, which
+        benefits B itself" — so it rationally prefers requestors that
+        *possess a completed piece it needs* (direct reciprocity
+        possible).  Peers with nothing to give back — newcomers and,
+        crucially, free-riders sitting on undecrypted pieces — are
+        only served when no direct candidate exists.  This is what
+        keeps voluntary donations from being farmed by free-riders.
+        """
+        candidates = self._eligible_requestors()
+        my_wanted = self.book.wanted()
+        direct, fallback = [], []
+        for candidate_id in candidates:
+            peer = self.swarm.find_peer(candidate_id)
+            if peer is not None and my_wanted & peer.book.completed:
+                direct.append(candidate_id)
+            else:
+                fallback.append(candidate_id)
+        for pool in (direct, fallback):
+            while pool:
+                requestor_id = self.sim.rng.choice(pool)
+                plan = self._plan_donation(requestor_id)
+                if plan is not None:
+                    return plan
+                pool.remove(requestor_id)
+        return None
+
+    def on_plan_failed(self, plan: UploadPlan) -> None:
+        obligation = plan.meta.get("obligation")
+        if obligation is not None:
+            self.obligations.insert(0, obligation)
+
+    def on_upload_cancelled(self, plan: UploadPlan) -> None:
+        super().on_upload_cancelled(plan)
+        # A cancelled reciprocation leaves its obligation unfulfilled:
+        # put it back so the donor can designate a replacement payee.
+        obligation = plan.meta.get("obligation")
+        if obligation is None or not self.active:
+            return
+        tx = self.state.ledger.get(obligation)
+        if tx.state is TransactionState.DELIVERED \
+                and obligation not in self.obligations:
+            self.obligations.append(obligation)
+            self.pump()
+
+    # ------------------------------------------------------------------
+    # Receiving
+    # ------------------------------------------------------------------
+    def on_payload(self, payload, uploader_id: str) -> None:
+        if isinstance(payload, EncryptedPieceMessage):
+            self._on_encrypted_piece(payload)
+        elif isinstance(payload, PlainPieceMessage):
+            self._on_plain_piece(payload)
+        else:  # pragma: no cover - protocol mixing is a bug
+            raise TypeError(f"unexpected payload {payload!r}")
+        self.pump()
+
+    def _on_encrypted_piece(self, msg: EncryptedPieceMessage) -> None:
+        ledger = self.state.ledger
+        self.pending_sealed[msg.transaction_id] = msg.sealed
+        self.piece_log.append((self.sim.now, msg.sealed.piece_index,
+                               "encrypted"))
+        prev = ledger.mark_delivered(msg.transaction_id, self.sim.now)
+        if prev is not None:
+            self._report_as_payee(prev)
+        self.obligations.append(msg.transaction_id)
+        if self.state.key_timeout_s:
+            self.sim.schedule(self.state.key_timeout_s,
+                              self._check_key_timeout,
+                              msg.transaction_id)
+        self._maybe_collude(msg)
+
+    def _on_plain_piece(self, msg: PlainPieceMessage) -> None:
+        ledger = self.state.ledger
+        prev = ledger.mark_delivered(msg.transaction_id, self.sim.now)
+        if prev is not None:
+            self._report_as_payee(prev)
+        self.piece_log.append((self.sim.now, msg.piece_index, "decrypted"))
+        self.complete_piece(msg.piece_index)
+
+    def _report_as_payee(self, prev: Transaction) -> None:
+        """We are the payee of ``prev``: report the reciprocation."""
+        donor = self.swarm.find_peer(prev.donor_id)
+        latency = self.swarm.config.control_latency_s
+        if donor is not None:
+            self.sim.schedule(latency, donor.on_report,
+                              prev.transaction_id, True)
+        elif prev.transaction_id in self.state.handover:
+            # The donor left and handed us the key (Sec. II-B4).
+            self.sim.schedule(latency, self._release_as_holder,
+                              prev.transaction_id)
+
+    def _release_as_holder(self, transaction_id: int) -> None:
+        ledger = self.state.ledger
+        tx = ledger.get(transaction_id)
+        if tx.state is not TransactionState.RECIPROCATED:
+            return
+        ledger.report_reciprocation(transaction_id, self.sim.now)
+        key = ledger.release_key(transaction_id, self.sim.now)
+        requestor = self.swarm.find_peer(tx.requestor_id)
+        if requestor is not None and requestor.active:
+            self.sim.schedule(self.swarm.config.control_latency_s,
+                              requestor.receive_key, transaction_id, key)
+
+    def _check_key_timeout(self, transaction_id: int) -> None:
+        """We reciprocated long ago and no key came: the reception
+        report was swallowed (silent or vanished payee).  Plead the
+        case to the donor — the transaction reopens and we reciprocate
+        again toward a reassigned payee (Sec. II-B4)."""
+        if not self.active:
+            return
+        sealed = self.pending_sealed.get(transaction_id)
+        if sealed is None:
+            return
+        tx = self.state.ledger.get(transaction_id)
+        if tx.state is TransactionState.DELIVERED:
+            if transaction_id not in self.obligations:
+                # Not our backlog: a reopen raced with nothing —
+                # requeue so the obligation is actually retried.
+                self.obligations.append(transaction_id)
+            self.sim.schedule(self.state.key_timeout_s,
+                              self._check_key_timeout, transaction_id)
+            return
+        if tx.state is TransactionState.RECIPROCATED:
+            self.state.ledger.reopen(transaction_id, self.sim.now)
+            if transaction_id not in self.obligations:
+                self.obligations.append(transaction_id)
+            self.sim.schedule(self.state.key_timeout_s,
+                              self._check_key_timeout, transaction_id)
+            self.pump()
+
+    def receive_key(self, transaction_id: int, key) -> None:
+        if not self.active:
+            return
+        sealed = self.pending_sealed.pop(transaction_id, None)
+        if sealed is None:
+            return
+        expected = None
+        if sealed.ciphertext is not None:
+            # real_crypto mode: decrypt and verify against ground
+            # truth — an authentication or content failure here is a
+            # protocol bug, not a recoverable condition.
+            expected = piece_payload(self.swarm.torrent,
+                                     sealed.piece_index)
+        sealed.open(key, expected_plaintext=expected)
+        self.piece_log.append((self.sim.now, sealed.piece_index,
+                               "decrypted"))
+        self.complete_piece(sealed.piece_index)
+        self.pump()
+
+    def _maybe_collude(self, msg: EncryptedPieceMessage) -> None:
+        """Collusion attack hook — compliant leechers never collude;
+        colluding free-riders override the guard via the colluder set
+        (Sec. III-A4 / Fig. 8)."""
+        if not self.state.are_colluders(self.id, msg.payee_id):
+            return
+        payee = self.swarm.find_peer(msg.payee_id)
+        donor = self.swarm.find_peer(msg.donor_id)
+        if payee is None or donor is None:
+            return
+        latency = self.swarm.config.control_latency_s
+        # The colluding payee vouches for a reciprocation that never
+        # happened; the donor cannot tell and releases the key.
+        self.sim.schedule(2 * latency, donor.on_report,
+                          msg.transaction_id, False)
+
+    # ------------------------------------------------------------------
+    # Departure
+    # ------------------------------------------------------------------
+    def on_leave(self) -> None:
+        ledger = self.state.ledger
+        # Unfulfilled obligations die with us: both the queued ones and
+        # any whose reciprocation upload is being cancelled mid-flight.
+        for tx in ledger.open_transactions_involving(self.id):
+            if tx.requestor_id == self.id \
+                    and tx.state is TransactionState.DELIVERED:
+                ledger.abort(tx.transaction_id, self.sim.now)
+                ledger.terminate_chain(tx.chain_id, self.sim.now)
+        self.obligations.clear()
+        self.pending_sealed.clear()
+        super().on_leave()
+
+    def on_neighbor_disconnected(self, neighbor_id: str) -> None:
+        self.flow.forget(neighbor_id)
+        super().on_neighbor_disconnected(neighbor_id)
+
+
+def _forgive_orphan(state: TChainState, tx: Transaction) -> None:
+    """Last-resort cleanup: donor and payee are both unreachable.
+
+    The requestor cannot reciprocate and nobody holds the key duty:
+    the exchange is dead.  The transaction aborts (no key is gifted)
+    and the requestor drops the sealed piece so it can re-fetch the
+    piece from someone reachable.
+    """
+    state.ledger.abort(tx.transaction_id, state.swarm.sim.now)
+    state.ledger.terminate_chain(tx.chain_id, state.swarm.sim.now)
+    _drop_sealed_at_requestor(state, tx)
+
+
+def _drop_sealed_at_requestor(state: TChainState,
+                              tx: Transaction) -> None:
+    """Clear a dead transaction's sealed piece from its requestor."""
+    requestor = state.swarm.find_peer(tx.requestor_id)
+    if requestor is None or not requestor.active \
+            or not isinstance(requestor, TChainLeecher):
+        return
+    sealed = requestor.pending_sealed.pop(tx.transaction_id, None)
+    if sealed is not None:
+        requestor.book.unexpect(sealed.piece_index)
+    if tx.transaction_id in requestor.obligations:
+        requestor.obligations.remove(tx.transaction_id)
+    requestor.pump()

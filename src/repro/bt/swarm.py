@@ -1,0 +1,204 @@
+"""Swarm orchestration.
+
+A :class:`Swarm` owns the simulator, torrent, tracker, topology and the
+peer population, and provides the experiment-facing run loop.  It is
+protocol-agnostic: protocols are peer subclasses added through
+:meth:`add_peer` (usually by an arrival workload).
+
+The run loop stops when every leecher able to finish has left, or at
+``max_time``.  Free-riders that can never finish (the T-Chain outcome
+of Fig. 7(b)) do not keep the simulation alive forever.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Dict, List, Optional
+
+from repro.analysis.metrics import SwarmMetrics
+from repro.bt.config import SwarmConfig
+from repro.bt.peer import Peer
+from repro.bt.torrent import Torrent
+from repro.bt.tracker import Tracker
+from repro.net.topology import Topology
+from repro.sim.engine import Simulator
+
+
+class Swarm:
+    """One simulated file-sharing swarm."""
+
+    def __init__(self, config: SwarmConfig):
+        self.config = config
+        self.sim = Simulator(seed=config.seed)
+        self.torrent = Torrent(config.n_pieces, config.piece_size_kb)
+        self.tracker = Tracker(self.sim.rng, config.tracker_list_size)
+        self.topology = Topology(config.max_neighbors,
+                                 config.refill_threshold)
+        self.topology.on_disconnect = self._notify_disconnect
+        self.metrics = SwarmMetrics()
+        self.peers: Dict[str, Peer] = {}
+        self.departed: Dict[str, Peer] = {}
+        self.active_leechers = 0
+        self.finished_leechers = 0
+        self.on_finished: Optional[Callable[[Peer], None]] = None
+        self.last_activity = 0.0
+        self._next_auto_id = 0
+
+    # ------------------------------------------------------------------
+    # Peer management
+    # ------------------------------------------------------------------
+    def new_peer_id(self, prefix: str = "L") -> str:
+        """A fresh unique peer id."""
+        self._next_auto_id += 1
+        return f"{prefix}{self._next_auto_id}"
+
+    def add_peer(self, peer: Peer) -> Peer:
+        """Join a constructed peer into the swarm now."""
+        peer.join()
+        return peer
+
+    def register(self, peer: Peer) -> None:
+        """Called by ``Peer.join``; wires topology and counters."""
+        if peer.id in self.peers:
+            raise ValueError(f"duplicate peer id {peer.id!r}")
+        self.peers[peer.id] = peer
+        self.topology.add_peer(peer.id,
+                               unlimited=peer.unlimited_neighbors)
+        if peer.kind != "seeder":
+            self.active_leechers += 1
+
+    def deregister(self, peer: Peer) -> None:
+        """Called by ``Peer.leave``."""
+        self.peers.pop(peer.id, None)
+        self.topology.remove_peer(peer.id)
+        self.departed[peer.id] = peer
+        if peer.kind != "seeder":
+            self.active_leechers -= 1
+        self.metrics.record_peer(peer, self.sim.now)
+
+    def find_peer(self, peer_id: str) -> Optional[Peer]:
+        """Active peer by id, else None."""
+        return self.peers.get(peer_id)
+
+    def connect(self, a: str, b: str) -> bool:
+        """Create a neighbor edge and fire both connection hooks.
+
+        Re-connecting an existing edge is a no-op: the hooks fire only
+        for genuinely new neighbors (tracker refills mostly return
+        peers we already know; re-firing would stampede the pumps).
+        """
+        if self.topology.are_neighbors(a, b):
+            return True
+        peer_a, peer_b = self.peers.get(a), self.peers.get(b)
+        if peer_a is not None and not peer_a.accepts_connection_from(b):
+            return False
+        if peer_b is not None and not peer_b.accepts_connection_from(a):
+            return False
+        if not self.topology.connect(a, b):
+            return False
+        peer_a, peer_b = self.peers.get(a), self.peers.get(b)
+        if peer_a is not None:
+            peer_a.on_neighbor_connected(b)
+        if peer_b is not None:
+            peer_b.on_neighbor_connected(a)
+        return True
+
+    def _notify_disconnect(self, remaining: str, departed: str) -> None:
+        peer = self.peers.get(remaining)
+        if peer is not None:
+            peer.on_neighbor_disconnected(departed)
+
+    def rebrand(self, peer: Peer) -> str:
+        """Give a peer a fresh identity (whitewashing support).
+
+        The old id vanishes from the tracker and topology — neighbors
+        are notified exactly as for a departure — and the same peer
+        object rejoins under a new id with a fresh neighbor draw.  No
+        metrics record is written: the peer never really left.
+        """
+        old_id = peer.id
+        # Unregister before severing edges: disconnect notifications
+        # can re-enter (refills, pumps) and must not resolve the old id.
+        self.tracker.leave(old_id)
+        self.peers.pop(old_id, None)
+        self.topology.remove_peer(old_id)
+        new_id = self.new_peer_id("W")
+        peer.id = new_id
+        self.peers[new_id] = peer
+        self.topology.add_peer(new_id, unlimited=peer.unlimited_neighbors)
+        members = self.tracker.announce(new_id)
+        self.tracker.join(new_id)
+        for member in members:
+            self.connect(new_id, member)
+        return new_id
+
+    def on_peer_finished(self, peer: Peer) -> None:
+        """A leecher completed its download."""
+        self.finished_leechers += 1
+        if self.on_finished is not None:
+            self.on_finished(peer)
+
+    # ------------------------------------------------------------------
+    # Run loop
+    # ------------------------------------------------------------------
+    def run(self, max_time: Optional[float] = None,
+            stop_when_drained: bool = True) -> None:
+        """Advance the simulation.
+
+        Stops at ``max_time`` (or ``config.max_sim_time_s``), when the
+        event queue empties, or — with ``stop_when_drained`` — when no
+        leecher that could still finish remains active.
+
+        Additionally, a swarm that has been *quiet* (no piece upload
+        started, no arrival) for ``extra["quiet_window_s"]`` simulated
+        seconds is declared done: only bookkeeping timers are left
+        (e.g. starved T-Chain free-riders re-announcing forever).
+        """
+        limit = max_time if max_time is not None \
+            else self.config.max_sim_time_s
+        quiet = self.config.extra.get("quiet_window_s", 300.0)
+        while True:
+            if limit is not None and self.sim.now >= limit:
+                break
+            if stop_when_drained and self.active_leechers == 0 \
+                    and not self._arrivals_pending():
+                break
+            head = self.sim._heap[0] if self.sim._heap else None
+            if head is None:
+                break
+            if limit is not None and head.time > limit:
+                self.sim.now = limit
+                break
+            if quiet and not self._arrivals_pending() \
+                    and head.time - self.last_activity > quiet:
+                break
+            self.sim.step()
+
+    def _arrivals_pending(self) -> bool:
+        """Workloads flag future arrivals so we do not stop early."""
+        return self._pending_arrivals > 0
+
+    _pending_arrivals = 0
+
+    def note_arrival_scheduled(self) -> None:
+        """A workload scheduled a future join."""
+        self._pending_arrivals += 1
+
+    def note_arrival_happened(self) -> None:
+        """A scheduled join executed."""
+        self._pending_arrivals -= 1
+        self.last_activity = self.sim.now
+
+    def note_activity(self) -> None:
+        """A piece upload started somewhere (quiet-window bookkeeping)."""
+        self.last_activity = self.sim.now
+
+    # ------------------------------------------------------------------
+    # Convenience views
+    # ------------------------------------------------------------------
+    def leechers(self) -> List[Peer]:
+        """Active non-seeder peers."""
+        return [p for p in self.peers.values() if p.kind != "seeder"]
+
+    def seeders(self) -> List[Peer]:
+        """Active seeders."""
+        return [p for p in self.peers.values() if p.kind == "seeder"]

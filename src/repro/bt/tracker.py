@@ -1,0 +1,55 @@
+"""The tracker: random membership lists.
+
+Mirrors the BitTorrent tracker behaviour the paper assumes
+(Sec. II-A): a joining peer announces itself and receives up to 50
+randomly selected current members; peers re-announce whenever their
+neighbor count drops below 30.  Free-riders mounting the large-view
+exploit (Sec. IV-C) re-announce every rechoke period to harvest fresh
+victims — the tracker itself cannot tell and serves them normally.
+"""
+
+from __future__ import annotations
+
+from random import Random
+from typing import List, Set
+
+
+class Tracker:
+    """Swarm membership service."""
+
+    def __init__(self, rng: Random, list_size: int = 50):
+        if list_size < 1:
+            raise ValueError("list_size must be >= 1")
+        self.rng = rng
+        self.list_size = list_size
+        self._members: Set[str] = set()
+        self.announce_count = 0
+
+    def join(self, peer_id: str) -> None:
+        """Register a peer as a swarm member."""
+        self._members.add(peer_id)
+
+    def leave(self, peer_id: str) -> None:
+        """Deregister a departing peer; idempotent."""
+        self._members.discard(peer_id)
+
+    def announce(self, peer_id: str) -> List[str]:
+        """Return up to ``list_size`` random members other than the
+        requester (the requester need not be registered yet)."""
+        self.announce_count += 1
+        # Sorted so results depend only on the seeded RNG, not on
+        # per-process string hashing.
+        others = [m for m in sorted(self._members) if m != peer_id]
+        if len(others) <= self.list_size:
+            self.rng.shuffle(others)
+            return others
+        return self.rng.sample(others, self.list_size)
+
+    @property
+    def member_count(self) -> int:
+        """Current number of registered members."""
+        return len(self._members)
+
+    def is_member(self, peer_id: str) -> bool:
+        """True if the peer is currently registered."""
+        return peer_id in self._members

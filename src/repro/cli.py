@@ -1,0 +1,257 @@
+"""Command-line interface: ``python -m repro <command>``.
+
+Commands
+--------
+``run``
+    One swarm simulation with full knob control; prints a summary and
+    optionally persists JSON/CSV results.
+``compare``
+    The same scenario across several protocols, as a table and an
+    ASCII bar chart.
+``figure``
+    Regenerate one of the paper's figures/tables by name (fig3 ...
+    fig13, table2) at a chosen scale.
+``models``
+    The Section III analytical results (bootstrap dynamics, collusion
+    probability, overheads).
+
+Examples
+--------
+::
+
+    python -m repro run --protocol tchain --leechers 60 --pieces 32 \
+        --freeriders 0.25 --out results/run1
+    python -m repro compare --leechers 40 --pieces 16 --freeriders 0.25
+    python -m repro figure fig7 --scale 0.5 --seeds 1
+    python -m repro models
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from typing import List, Optional
+
+from repro.analysis.charts import bar_chart
+from repro.analysis.persist import save_peers_csv, save_run_json
+from repro.analysis.reporting import format_table
+from repro.attacks.freerider import FreeRiderOptions
+from repro.bt.protocols import PROTOCOLS
+from repro.experiments import run_swarm
+from repro.experiments.config import ExperimentScale
+
+
+def build_parser() -> argparse.ArgumentParser:
+    """The CLI's argument parser (exposed for testing)."""
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="T-Chain (ICDCS 2015) reproduction toolkit")
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    run_p = sub.add_parser("run", help="run one swarm simulation")
+    _swarm_args(run_p)
+    run_p.add_argument("--out", metavar="PREFIX",
+                       help="write PREFIX.json and PREFIX.csv")
+
+    cmp_p = sub.add_parser("compare",
+                           help="run a scenario across protocols")
+    _swarm_args(cmp_p, with_protocol=False)
+    cmp_p.add_argument("--protocols", nargs="+",
+                       default=["bittorrent", "propshare",
+                                "fairtorrent", "tchain"],
+                       choices=sorted(PROTOCOLS))
+
+    fig_p = sub.add_parser("figure",
+                           help="regenerate a paper figure/table")
+    fig_p.add_argument("name",
+                       choices=["fig3", "fig4", "fig5", "fig6",
+                                "fig7", "fig8", "fig9", "fig10",
+                                "fig11", "fig12", "fig13", "table2"])
+    fig_p.add_argument("--scale", type=float, default=1.0,
+                       help="size multiplier (1.0 = bench default)")
+    fig_p.add_argument("--seeds", type=int, default=2)
+    fig_p.add_argument("--seed", type=int, default=42,
+                       help="root seed")
+
+    sub.add_parser("models",
+                   help="Section III analytical results")
+    return parser
+
+
+def _swarm_args(parser: argparse.ArgumentParser,
+                with_protocol: bool = True) -> None:
+    if with_protocol:
+        parser.add_argument("--protocol", default="tchain",
+                            choices=sorted(PROTOCOLS))
+    parser.add_argument("--leechers", type=int, default=40)
+    parser.add_argument("--pieces", type=int, default=32)
+    parser.add_argument("--piece-kb", type=float, default=256.0)
+    parser.add_argument("--freeriders", type=float, default=0.0,
+                        help="free-rider fraction [0, 1]")
+    parser.add_argument("--collude", action="store_true",
+                        help="free-riders collude (T-Chain)")
+    parser.add_argument("--arrival", default="flash",
+                        choices=["flash", "trace"])
+    parser.add_argument("--seed", type=int, default=0)
+    parser.add_argument("--max-time", type=float, default=None)
+
+
+def _options_from(args) -> FreeRiderOptions:
+    if args.collude:
+        return FreeRiderOptions(large_view=True, whitewash=False,
+                                collude=True)
+    return FreeRiderOptions()
+
+
+def _run_one(args, protocol: str):
+    return run_swarm(
+        protocol=protocol, leechers=args.leechers, pieces=args.pieces,
+        piece_size_kb=args.piece_kb, seed=args.seed,
+        freerider_fraction=args.freeriders,
+        freerider_options=_options_from(args),
+        arrival=args.arrival, max_time=args.max_time)
+
+
+def cmd_run(args) -> int:
+    result = _run_one(args, args.protocol)
+    metrics = result.metrics
+    rows = [
+        ("protocol", result.protocol),
+        ("leechers / free-riders",
+         f"{result.n_compliant} / {result.n_freeriders}"),
+        ("file", f"{result.config.file_size_mb:g} MB "
+                 f"({result.config.n_pieces} x "
+                 f"{result.config.piece_size_kb:g} KB)"),
+        ("mean completion (s)",
+         metrics.mean_completion_time("leecher")),
+        ("optimal bound (s)", round(result.optimal_time(), 1)),
+        ("completion rate", metrics.completion_rate("leecher")),
+        ("mean uplink utilization",
+         metrics.mean_utilization("leecher")),
+        ("free-riders finished",
+         metrics.completion_rate("freerider")),
+        ("simulated seconds", round(result.swarm.sim.now, 1)),
+        ("events", result.swarm.sim.events_fired),
+    ]
+    print(format_table(["quantity", "value"], rows,
+                       title="swarm run summary"))
+    if args.out:
+        json_path = save_run_json(result, f"{args.out}.json")
+        csv_path = save_peers_csv(result, f"{args.out}.csv")
+        print(f"\nwrote {json_path} and {csv_path}")
+    return 0
+
+
+def cmd_compare(args) -> int:
+    rows = []
+    bars = []
+    for protocol in args.protocols:
+        result = _run_one(args, protocol)
+        metrics = result.metrics
+        mct = metrics.mean_completion_time("leecher")
+        rows.append((protocol, mct,
+                     metrics.mean_utilization("leecher"),
+                     metrics.completion_rate("freerider")))
+        bars.append((protocol, round(mct or 0.0, 1)))
+    print(format_table(
+        ["protocol", "compliant completion (s)", "utilization",
+         "free-riders finished"],
+        rows, title="protocol comparison"))
+    print()
+    print(bar_chart(bars, title="mean compliant completion time (s)",
+                    unit=" s"))
+    return 0
+
+
+def cmd_figure(args) -> int:
+    from repro.experiments import (fig3, fig4, fig5, fig6, fig7, fig8,
+                                   fig9, fig10, fig11, fig12, fig13,
+                                   table2)
+    scale = ExperimentScale(factor=args.scale, seeds=args.seeds,
+                            root_seed=args.seed)
+    name = args.name
+    if name == "fig3":
+        print(fig3.render(fig3.run(scale)))
+    elif name == "fig4":
+        print(fig4.render(fig4.run_file_size(scale),
+                          fig4.run_swarm_size(scale)))
+    elif name == "fig5":
+        print(fig5.render(fig5.run(scale)))
+    elif name == "fig6":
+        samples = fig6.run_crawler(scale)
+        rows = fig6.run_initial_pieces(scale)
+        print(fig6.render(samples, rows,
+                          scale.pieces(fig6.BASE_PIECES_A)))
+    elif name == "fig7":
+        print(fig7.render(fig7.run(scale)))
+    elif name == "fig8":
+        print(fig8.render(fig8.run(scale)))
+    elif name == "fig9":
+        print(fig9.render(fig9.run(scale)))
+    elif name == "fig10":
+        print(fig10.render(fig10.run(scale, "flash"),
+                           fig10.run(scale, "trace")))
+    elif name == "fig11":
+        print(fig11.render(fig11.run_cumulative(scale),
+                           fig11.run_opportunistic_fraction(scale)))
+    elif name == "fig12":
+        print(fig12.render(fig12.run(scale)))
+    elif name == "fig13":
+        print(fig13.render(fig13.run(scale)))
+    elif name == "table2":
+        print(table2.render(table2.run(scale)))
+    return 0
+
+
+def cmd_models(args) -> int:
+    from repro.models import (
+        BitTorrentLikeModel,
+        OverheadModel,
+        TChainModel,
+        collusion_success_probability,
+        measure_encryption_rate,
+    )
+    n, x0 = 500, 400.0
+    bt = BitTorrentLikeModel(n=n).trajectory(x0, 20)
+    tc = TChainModel(n=n).trajectory(x0, 20)
+    print(format_table(
+        ["timeslot", "BitTorrent-like x", "T-Chain x+y"],
+        [(t, round(bt[t].unbootstrapped, 1),
+          round(tc[t].unbootstrapped, 1))
+         for t in range(0, 21, 2)],
+        title="Sec. III-B bootstrapping dynamics (n=500)"))
+    print()
+    print(format_table(
+        ["colluders m", "P_s"],
+        [(m, f"{collusion_success_probability(1000, m, 50):.3g}")
+         for m in (2, 10, 50, 100, 250)],
+        title="Sec. III-A4 collusion probability (N=1000)"))
+    print()
+    rate = measure_encryption_rate(piece_kb=64, repetitions=2)
+    model = OverheadModel(cipher_rate_kb_per_s=rate)
+    print(format_table(
+        ["overhead", "value"],
+        [("encryption (this machine)",
+          f"{model.encryption_overhead:.2%}"),
+         ("space", f"{model.space_overhead:.3%}"),
+         ("reports+keys", f"{model.report_overhead():.3%}")],
+        title="Sec. III-C overheads"))
+    return 0
+
+
+COMMANDS = {
+    "run": cmd_run,
+    "compare": cmd_compare,
+    "figure": cmd_figure,
+    "models": cmd_models,
+}
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    """CLI entry point."""
+    args = build_parser().parse_args(argv)
+    return COMMANDS[args.command](args)
+
+
+if __name__ == "__main__":  # pragma: no cover
+    sys.exit(main())

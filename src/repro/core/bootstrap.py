@@ -1,0 +1,59 @@
+"""Newcomer bootstrapping: the both-need piece rule (Sec. II-D1).
+
+A newcomer has no completed pieces, so it cannot normally reciprocate.
+T-Chain's fix needs no set-aside resources: the donor picks a piece
+that *both* the newcomer and the designated payee need.  The newcomer
+reciprocates by forwarding the (still encrypted) piece it just
+received.  This is the only situation where Local-Rarest-First piece
+selection is overridden.
+
+Because the forwarded piece is encrypted, the newcomer gains nothing
+unless it actually forwards it — bootstrapping generosity cannot be
+free-ridden, which is the innovation the paper highlights.
+"""
+
+from __future__ import annotations
+
+from random import Random
+from typing import AbstractSet, Optional, Sequence
+
+
+def is_newcomer(completed_piece_count: int) -> bool:
+    """A peer with no completed (decrypted) pieces is a newcomer."""
+    return completed_piece_count == 0
+
+
+def select_bootstrap_piece(donor_pieces: AbstractSet[int],
+                           requestor_missing: AbstractSet[int],
+                           payee_missing: AbstractSet[int],
+                           rng: Random) -> Optional[int]:
+    """Pick a piece that the donor owns and both requestor and payee
+    need; ``None`` when no such piece exists.
+
+    The choice is uniform random over the feasible set: rarity is
+    irrelevant here because the goal is to make the newcomer's
+    reciprocation possible at all.
+    """
+    feasible = sorted(donor_pieces & requestor_missing & payee_missing)
+    if not feasible:
+        return None
+    return rng.choice(feasible)
+
+
+def payees_compatible_with_bootstrap(
+        donor_pieces: AbstractSet[int],
+        requestor_missing: AbstractSet[int],
+        candidate_payees: Sequence[str],
+        missing_by_peer: dict) -> list:
+    """Filter payee candidates to those for which a both-need piece
+    exists (donor ∩ requestor-missing ∩ payee-missing nonempty).
+
+    ``missing_by_peer`` maps candidate id → set of missing pieces.
+    """
+    usable = donor_pieces & requestor_missing
+    if not usable:
+        return []
+    return [
+        payee for payee in candidate_payees
+        if usable & missing_by_peer[payee]
+    ]

@@ -1,0 +1,90 @@
+"""Flow control: adaptive receiver selection (Sec. II-D2).
+
+Each peer records, per neighbor, the number of *pending* file pieces —
+encrypted pieces it uploaded to that neighbor for which no notification
+of reciprocation has arrived yet.  A neighbor with ``k`` or more
+pending pieces is neither selected to receive pieces nor designated as
+a payee until its backlog drains.  The paper fixes ``k = 2``.
+
+This one mechanism both smooths heterogeneous upload capacities and
+starves free-riders: a peer that never reciprocates accumulates pending
+pieces at every honest neighbor and is quietly banned everywhere, with
+no reputation system or information sharing required.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterable, List
+
+DEFAULT_PENDING_LIMIT = 2
+"""The paper's k = 2 (Sec. II-D2)."""
+
+
+class FlowController:
+    """Per-peer pending-piece accounting.
+
+    Parameters
+    ----------
+    pending_limit:
+        The window k.  Neighbors at or above the limit are ineligible.
+    """
+
+    def __init__(self, pending_limit: int = DEFAULT_PENDING_LIMIT):
+        if pending_limit < 1:
+            raise ValueError("pending_limit must be >= 1")
+        self.pending_limit = pending_limit
+        self._pending: Dict[str, int] = {}
+
+    def on_piece_sent(self, neighbor_id: str) -> None:
+        """An encrypted piece was uploaded to ``neighbor_id``."""
+        self._pending[neighbor_id] = self._pending.get(neighbor_id, 0) + 1
+
+    def on_reciprocation_confirmed(self, neighbor_id: str) -> None:
+        """A reciprocation notification for ``neighbor_id`` arrived."""
+        count = self._pending.get(neighbor_id, 0)
+        if count <= 1:
+            self._pending.pop(neighbor_id, None)
+        else:
+            self._pending[neighbor_id] = count - 1
+
+    def write_off(self, neighbor_id: str) -> None:
+        """Write one dead exchange off the neighbor's window.
+
+        Called when the donor abandons a transaction (stall watchdog,
+        abort): pending pieces track *outstanding* exchanges, not
+        lifetime debt, so a written-off exchange stops occupying the
+        window.  A persistent non-reciprocator still spends its whole
+        window on dead exchanges at any moment — it stays starved of
+        throughput — but is not banned beyond the write-off horizon.
+        """
+        self.on_reciprocation_confirmed(neighbor_id)
+
+    def forget(self, neighbor_id: str) -> None:
+        """Drop state for a departed neighbor."""
+        self._pending.pop(neighbor_id, None)
+
+    def pending(self, neighbor_id: str) -> int:
+        """Current pending count for a neighbor."""
+        return self._pending.get(neighbor_id, 0)
+
+    def eligible(self, neighbor_id: str) -> bool:
+        """True while the neighbor is under the window."""
+        return self.pending(neighbor_id) < self.pending_limit
+
+    def filter_eligible(self, neighbor_ids: Iterable[str]) -> List[str]:
+        """Subset of ``neighbor_ids`` that pass the window check."""
+        return [n for n in neighbor_ids if self.eligible(n)]
+
+    def least_loaded(self, neighbor_ids: Iterable[str]) -> List[str]:
+        """Neighbors with the smallest pending count (the alternative
+        selection rule mentioned in Sec. II-D2)."""
+        ids = list(neighbor_ids)
+        if not ids:
+            return []
+        low = min(self.pending(n) for n in ids)
+        return [n for n in ids if self.pending(n) == low]
+
+    @property
+    def total_pending(self) -> int:
+        """Total outstanding pieces across all neighbors."""
+        return sum(self._pending.values())

@@ -1,0 +1,22 @@
+"""Experiment harness: one module per paper figure/table.
+
+:func:`repro.experiments.runner.run_swarm` is the single entry point
+that builds, populates and runs a swarm; the per-figure modules
+(:mod:`repro.experiments.fig3` ... :mod:`repro.experiments.table2`)
+compose it into the paper's exact sweeps and print the corresponding
+rows/series.
+"""
+
+from repro.experiments.runner import (
+    RunResult,
+    optimal_completion_time,
+    run_many,
+    run_swarm,
+)
+
+__all__ = [
+    "RunResult",
+    "optimal_completion_time",
+    "run_many",
+    "run_swarm",
+]

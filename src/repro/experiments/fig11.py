@@ -1,0 +1,116 @@
+"""Figure 11: who initiates chains — the seeder or opportunistic
+leechers.
+
+(a) Flash crowd, no free-riders: the cumulative number of chains
+created by the seeder versus by leechers over time.  Opportunistic
+seeding is concentrated at the start, when the seeder alone cannot
+feed the crowd; afterwards reciprocation keeps upload capacity busy
+and the leecher-initiated rate falls toward zero.
+
+(b) Continuous trace, free-rider share swept: the *fraction* of
+chains created by opportunistic seeding grows with the free-rider
+share, because every act of free-riding kills a chain that leechers
+then replace.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Tuple
+
+from repro.analysis.reporting import format_series, format_table
+from repro.analysis.stats import summarize
+from repro.experiments.config import DEFAULT_SCALE, ExperimentScale
+from repro.experiments.runner import run_many, run_swarm, seeds_for
+from repro.sim.events import PeriodicTask
+
+BASE_LEECHERS = 60
+BASE_PIECES = 32
+FRACTIONS = (0.0, 0.1, 0.25, 0.5)
+SAMPLE_INTERVAL_S = 5.0
+
+
+@dataclass
+class CumulativeChains:
+    """Sampled (time, by seeder, by leechers) triples."""
+
+    samples: List[Tuple[float, int, int]]
+
+    def final_counts(self) -> Tuple[int, int]:
+        """(seeder, leechers) cumulative chains at the end."""
+        if not self.samples:
+            return (0, 0)
+        _, seeder, leechers = self.samples[-1]
+        return seeder, leechers
+
+
+def run_cumulative(scale: ExperimentScale = DEFAULT_SCALE
+                   ) -> CumulativeChains:
+    """Fig. 11(a): cumulative chain creation by initiator type."""
+    samples: List[Tuple[float, int, int]] = []
+
+    def setup(swarm):
+        def sample():
+            state = getattr(swarm, "_tchain_state", None)
+            if state is None:
+                samples.append((swarm.sim.now, 0, 0))
+            else:
+                samples.append((swarm.sim.now,
+                                state.registry.created_by_seeder,
+                                state.registry.created_by_leechers))
+        PeriodicTask(swarm.sim, SAMPLE_INTERVAL_S, sample,
+                     first_delay=0.0)
+
+    run_swarm(protocol="tchain", leechers=scale.swarm(BASE_LEECHERS),
+              pieces=scale.pieces(BASE_PIECES), seed=scale.root_seed,
+              setup=setup)
+    return CumulativeChains(samples=samples)
+
+
+@dataclass
+class OpportunisticRow:
+    """One Fig. 11(b) point."""
+
+    freerider_fraction: float
+    opportunistic_fraction: float
+    ci95: float
+
+
+def run_opportunistic_fraction(scale: ExperimentScale = DEFAULT_SCALE
+                               ) -> List[OpportunisticRow]:
+    """Fig. 11(b): opportunistic share vs free-rider share."""
+    rows = []
+    for fraction in FRACTIONS:
+        seeds = seeds_for(f"fig11b/{fraction}", scale.root_seed,
+                          scale.seeds)
+        results = run_many(
+            seeds, protocol="tchain",
+            leechers=scale.swarm(BASE_LEECHERS),
+            pieces=scale.pieces(BASE_PIECES),
+            freerider_fraction=fraction, arrival="trace",
+            trace_horizon_s=300.0)
+        shares = summarize([
+            r.tchain_state.registry.opportunistic_fraction
+            for r in results])
+        rows.append(OpportunisticRow(
+            freerider_fraction=fraction,
+            opportunistic_fraction=shares.mean,
+            ci95=shares.ci95))
+    return rows
+
+
+def render(cumulative: CumulativeChains,
+           rows: List[OpportunisticRow]) -> str:
+    """Figure 11 as a printed series and table."""
+    a = format_series(
+        "Fig. 11(a) cumulative chains (flash crowd)",
+        [(t, f"seeder {s}, leechers {l}")
+         for t, s, l in cumulative.samples[:20]],
+        x_label="time (s)", y_label="cumulative")
+    b = format_table(
+        ["free-rider %", "opportunistic chain fraction", "ci95"],
+        [(int(r.freerider_fraction * 100), r.opportunistic_fraction,
+          r.ci95) for r in rows],
+        title="Fig. 11(b) opportunistic seeding share vs free-riders "
+              "(trace)")
+    return a + "\n\n" + b

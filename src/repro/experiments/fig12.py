@@ -1,0 +1,87 @@
+"""Figure 12: fairness CDFs.
+
+Fairness factor = pieces downloaded / pieces uploaded per leecher
+over its swarm lifetime (Sec. IV-H); the figure plots the CDF over
+the last compliant finishers under trace arrivals.
+
+Paper shapes: (a) with no free-riders every method is reasonably
+fair, T-Chain and FairTorrent tightest around 1; (b) with 25 %
+free-riders only T-Chain keeps a steep CDF near 1 — the baselines
+spread out badly because compliant peers upload far more than they
+receive back.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List
+
+from repro.analysis.metrics import cdf_points
+from repro.analysis.reporting import format_table
+from repro.analysis.stats import percentile
+from repro.experiments.config import DEFAULT_SCALE, ExperimentScale
+from repro.experiments.runner import run_many, seeds_for
+
+PROTOCOLS = ["bittorrent", "propshare", "fairtorrent", "tchain"]
+BASE_LEECHERS = 60
+BASE_PIECES = 24
+
+
+@dataclass
+class FairnessCurve:
+    """Pooled fairness factors for one protocol/fraction cell."""
+
+    protocol: str
+    freerider_fraction: float
+    factors: List[float]
+
+    def cdf(self) -> list:
+        """(fairness factor, cumulative fraction) points."""
+        return cdf_points(self.factors)
+
+    def spread(self) -> float:
+        """90th − 10th percentile: the paper's visual 'steepness'."""
+        if len(self.factors) < 2:
+            return 0.0
+        return (percentile(self.factors, 90)
+                - percentile(self.factors, 10))
+
+    def median(self) -> float:
+        """Median fairness factor."""
+        return percentile(self.factors, 50)
+
+
+def run(scale: ExperimentScale = DEFAULT_SCALE
+        ) -> Dict[float, List[FairnessCurve]]:
+    """Both panels: fraction -> per-protocol fairness curves."""
+    out: Dict[float, List[FairnessCurve]] = {}
+    for fraction in (0.0, 0.25):
+        curves = []
+        for protocol in PROTOCOLS:
+            seeds = seeds_for(f"fig12/{protocol}/{fraction}",
+                              scale.root_seed, scale.seeds)
+            results = run_many(
+                seeds, protocol=protocol,
+                leechers=scale.swarm(BASE_LEECHERS),
+                pieces=scale.pieces(BASE_PIECES),
+                freerider_fraction=fraction, arrival="trace",
+                trace_horizon_s=300.0)
+            factors: List[float] = []
+            for r in results:
+                factors.extend(r.metrics.fairness_factors("leecher"))
+            curves.append(FairnessCurve(protocol, fraction, factors))
+        out[fraction] = curves
+    return out
+
+
+def render(curves_by_fraction: Dict[float, List[FairnessCurve]]) -> str:
+    """Figure 12 as printed summary tables."""
+    blocks = []
+    for fraction, curves in sorted(curves_by_fraction.items()):
+        blocks.append(format_table(
+            ["protocol", "median fairness", "p10-p90 spread", "n"],
+            [(c.protocol, c.median(), c.spread(), len(c.factors))
+             for c in curves],
+            title=(f"Fig. 12 fairness factors, "
+                   f"{int(fraction * 100)}% free-riders")))
+    return "\n\n".join(blocks)

@@ -1,0 +1,47 @@
+"""Figure 8: collusion against T-Chain.
+
+Same setting as Fig. 7, but all T-Chain free-riders collude: whenever
+a colluder is the designated payee for a fellow colluder's
+transaction, it files a false reception report, so the donor releases
+the key for an upload that never happened (Sec. III-A4).
+
+Paper shapes: colluding free-riders *can* now finish downloads, but
+orders of magnitude slower than compliant leechers (~40× at swarm
+size 1000 — sub-dial-up speeds), and collusion barely affects
+compliant leechers.  The baselines are unchanged from Fig. 7.
+"""
+
+from __future__ import annotations
+
+from typing import List
+
+from repro.attacks.freerider import FreeRiderOptions
+from repro.experiments.config import DEFAULT_SCALE, ExperimentScale
+from repro.experiments.fig7 import Fig7Row, render as _render, run as _run
+
+#: Colluding free-riders (no whitewash: identity changes would break
+#: the colluders' mutual recognition).
+COLLUSION_OPTIONS = FreeRiderOptions(large_view=True, whitewash=False,
+                                     collude=True)
+
+
+def run(scale: ExperimentScale = DEFAULT_SCALE) -> List[Fig7Row]:
+    """Run the Fig. 8 sweep (Fig. 7 with T-Chain collusion)."""
+    return _run(scale, options=COLLUSION_OPTIONS, label="fig8")
+
+
+def render(rows: List[Fig7Row]) -> str:
+    """Figure 8 as two printed tables."""
+    return _render(rows, title_prefix="Fig. 8")
+
+
+def freerider_slowdown(rows: List[Fig7Row], protocol: str) -> float:
+    """Mean free-rider/compliant completion ratio for a protocol
+    (Fig. 8's headline: ~40× for T-Chain)."""
+    ratios = []
+    for r in rows:
+        if r.protocol == protocol and r.freerider_completion_s \
+                and r.compliant_completion_s:
+            ratios.append(r.freerider_completion_s
+                          / r.compliant_completion_s)
+    return sum(ratios) / len(ratios) if ratios else float("inf")

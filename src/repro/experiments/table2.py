@@ -1,0 +1,180 @@
+"""Table II: incentive-scheme comparison under attacks.
+
+The paper's Table II scores each incentive scheme (✓ good / blank
+medium / ✗ bad) against the known manipulation strategies.  We
+reproduce the *measurable* cells by running attack micro-scenarios
+against our four protocol implementations and classifying the
+outcome; the remaining cells (simplicity, false praise — properties
+of reputation systems we do not implement) are design facts carried
+over from the paper for context.
+
+Measured cells:
+
+* **exploiting altruism** — a plain free-rider (no tricks): does it
+  complete the file in bounded time?
+* **large-view exploit** — a free-rider harvesting neighbors: how
+  much does the exploit speed it up / does it still complete?
+* **whitewashing** — identity resets after every usable piece.
+* **collusion** — colluding free-riders (T-Chain's false reports;
+  meaningless against the baselines' local observations, which we
+  verify by running it anyway).
+* **fairness under attack** — spread of compliant fairness factors
+  with 25 % free-riders.
+* **small files** — compliant throughput on a 3-piece file under
+  churn relative to the best protocol.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List
+
+from repro.analysis.reporting import format_table
+from repro.analysis.stats import percentile
+from repro.attacks.freerider import FreeRiderOptions
+from repro.experiments.config import DEFAULT_SCALE, ExperimentScale
+from repro.experiments.runner import run_swarm
+from repro.experiments import fig13
+
+PROTOCOLS = ["bittorrent", "propshare", "fairtorrent", "tchain"]
+
+GOOD, MEDIUM, BAD = "good", "medium", "bad"
+
+#: Paper Table II verdicts for the columns we measure.
+PAPER_VERDICTS: Dict[str, Dict[str, str]] = {
+    "exploiting altruism": {"bittorrent": BAD, "propshare": BAD,
+                            "fairtorrent": BAD, "tchain": GOOD},
+    "large-view exploit": {"bittorrent": BAD, "propshare": MEDIUM,
+                           "fairtorrent": MEDIUM, "tchain": GOOD},
+    "whitewashing": {"bittorrent": GOOD, "propshare": MEDIUM,
+                     "fairtorrent": BAD, "tchain": GOOD},
+    "collusion": {"bittorrent": GOOD, "propshare": GOOD,
+                  "fairtorrent": GOOD, "tchain": GOOD},
+    "fairness": {"bittorrent": BAD, "propshare": GOOD,
+                 "fairtorrent": GOOD, "tchain": GOOD},
+    "small files": {"bittorrent": BAD, "propshare": BAD,
+                    "fairtorrent": GOOD, "tchain": GOOD},
+}
+
+
+@dataclass
+class Cell:
+    """One measured Table II cell."""
+
+    feature: str
+    protocol: str
+    metric: float
+    verdict: str
+    paper_verdict: str
+
+    @property
+    def agrees(self) -> bool:
+        """Direction agreement with the paper (medium counts with
+        whichever side it borders)."""
+        order = {GOOD: 2, MEDIUM: 1, BAD: 0}
+        return abs(order[self.verdict]
+                   - order[self.paper_verdict]) <= 1
+
+
+@dataclass
+class Table2:
+    """All measured cells."""
+
+    cells: List[Cell] = field(default_factory=list)
+
+    def verdict(self, feature: str, protocol: str) -> str:
+        """Measured verdict for a cell."""
+        for c in self.cells:
+            if (c.feature, c.protocol) == (feature, protocol):
+                return c.verdict
+        raise KeyError((feature, protocol))
+
+
+def _freerider_scenario(protocol: str, options: FreeRiderOptions,
+                        seed: int):
+    return run_swarm(protocol=protocol, leechers=30, pieces=12,
+                     seed=seed, freerider_fraction=0.2,
+                     freerider_options=options,
+                     max_time=4000.0)
+
+
+def _verdict_from_freeriding(result) -> (float, str):
+    """Classify how well free-riders did: GOOD means the attack
+    yielded nothing, MEDIUM a throttled trickle, BAD a practical
+    download."""
+    rate = result.metrics.completion_rate("freerider")
+    if rate == 0:
+        return rate, GOOD
+    compliant = result.mean_completion_time("leecher") or 1.0
+    freerider = result.mean_completion_time("freerider")
+    if freerider is None or freerider > 5.0 * compliant or rate < 0.5:
+        return rate, MEDIUM
+    return rate, BAD
+
+
+def run(scale: ExperimentScale = DEFAULT_SCALE) -> Table2:
+    """Run all attack micro-scenarios and assemble the table."""
+    seed = scale.root_seed
+    table = Table2()
+
+    plain = FreeRiderOptions(large_view=False, whitewash=False)
+    large_view = FreeRiderOptions(large_view=True, whitewash=False)
+    whitewash = FreeRiderOptions(large_view=False, whitewash=True)
+    collusion = FreeRiderOptions(large_view=True, whitewash=False,
+                                 collude=True)
+
+    for protocol in PROTOCOLS:
+        scenarios = [
+            ("exploiting altruism", plain),
+            ("large-view exploit", large_view),
+            ("whitewashing", whitewash),
+            ("collusion", collusion),
+        ]
+        for feature, options in scenarios:
+            result = _freerider_scenario(protocol, options, seed)
+            metric, verdict = _verdict_from_freeriding(result)
+            table.cells.append(Cell(
+                feature=feature, protocol=protocol, metric=metric,
+                verdict=verdict,
+                paper_verdict=PAPER_VERDICTS[feature][protocol]))
+
+        # fairness spread under 25% free-riders
+        result = run_swarm(protocol=protocol, leechers=40, pieces=16,
+                           seed=seed, freerider_fraction=0.25)
+        factors = result.metrics.fairness_factors("leecher")
+        spread = (percentile(factors, 90) - percentile(factors, 10)
+                  if len(factors) >= 2 else 0.0)
+        median = percentile(factors, 50) if factors else 1.0
+        rel = spread / max(median, 1e-9)
+        verdict = GOOD if rel < 1.3 else (MEDIUM if rel < 2.1 else BAD)
+        table.cells.append(Cell(
+            feature="fairness", protocol=protocol, metric=rel,
+            verdict=verdict,
+            paper_verdict=PAPER_VERDICTS["fairness"][protocol]))
+
+    # small files: relative throughput on a 3-piece file, 50% FRs
+    throughputs = {
+        protocol: fig13._run_once(protocol, n_pieces=3, fraction=0.5,
+                                  leechers=30, seed=seed)
+        for protocol in PROTOCOLS
+    }
+    best = max(throughputs.values()) or 1.0
+    for protocol, tp in throughputs.items():
+        rel = tp / best
+        verdict = GOOD if rel > 0.75 else (MEDIUM if rel > 0.4
+                                           else BAD)
+        table.cells.append(Cell(
+            feature="small files", protocol=protocol, metric=rel,
+            verdict=verdict,
+            paper_verdict=PAPER_VERDICTS["small files"][protocol]))
+    return table
+
+
+def render(table: Table2) -> str:
+    """Table II as printed text."""
+    return format_table(
+        ["feature", "protocol", "metric", "measured", "paper"],
+        [(c.feature, c.protocol, c.metric, c.verdict, c.paper_verdict)
+         for c in table.cells],
+        title="Table II incentive comparison under attacks "
+              "(measured vs paper)")

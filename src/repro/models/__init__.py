@@ -1,0 +1,41 @@
+"""Analytical models from Section III of the paper.
+
+* :mod:`repro.models.bootstrap` — the bootstrapping-dynamics models of
+  Sec. III-B (Fig. 2's transition systems, equations (1)–(6)) and the
+  sufficient conditions of Propositions III.1/III.2.
+* :mod:`repro.models.collusion` — the collusion/Sybil success
+  probability P_s of Sec. III-A4, closed form and Monte Carlo.
+* :mod:`repro.models.overhead` — the encryption/report/space overhead
+  accounting of Sec. III-C, backed by the real cipher.
+"""
+
+from repro.models.bootstrap import (
+    BitTorrentLikeModel,
+    TChainModel,
+    omega_prime_uniform,
+    omega_double_prime_uniform,
+    proposition_iii1_holds,
+    proposition_iii2_holds,
+)
+from repro.models.collusion import (
+    collusion_success_probability,
+    collusion_success_probability_closed_form,
+    collusion_success_probability_paper_form,
+    simulate_collusion_probability,
+)
+from repro.models.overhead import OverheadModel, measure_encryption_rate
+
+__all__ = [
+    "BitTorrentLikeModel",
+    "OverheadModel",
+    "TChainModel",
+    "collusion_success_probability",
+    "collusion_success_probability_closed_form",
+    "collusion_success_probability_paper_form",
+    "measure_encryption_rate",
+    "omega_double_prime_uniform",
+    "omega_prime_uniform",
+    "proposition_iii1_holds",
+    "proposition_iii2_holds",
+    "simulate_collusion_probability",
+]

@@ -1,0 +1,208 @@
+"""Bootstrapping-dynamics models of Sec. III-B.
+
+The paper compares how fast newcomers acquire their first usable piece
+under a BitTorrent-like protocol (optimistic unchoking with
+probability δ) versus T-Chain (K chains per bootstrapped peer per
+timeslot, indirect reciprocity with probability ω).  Both are
+discrete-time population models over
+
+* ``x(t)`` — completely un-bootstrapped peers,
+* ``y(t)`` — partially bootstrapped peers (T-Chain only: they hold one
+  encrypted, unreciprocated piece),
+* ``z(t) = n − x − y`` — fully bootstrapped peers,
+
+with Poisson arrivals ``α·n`` and departures rate ``β`` (Fig. 2).
+
+We iterate the expected-value dynamics — equations (1) for BitTorrent
+and (2)–(6) for T-Chain — and expose the sufficient conditions of
+Propositions III.1 (short-term, flash-crowd) and III.2 (long-term).
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import List
+
+
+def omega_prime_uniform(n_pieces: int) -> float:
+    """ω′ for uniform piece counts: the probability a bootstrapped
+    peer already has the single piece of a partially bootstrapped
+    peer, ``E[m]/M = (M−1)/(2M)`` (≈ 0.495 at M = 100, the paper's
+    example)."""
+    if n_pieces < 1:
+        raise ValueError("need at least one piece")
+    return (n_pieces - 1) / (2.0 * n_pieces)
+
+
+def omega_double_prime_uniform(n_pieces: int, exact: bool = False
+                               ) -> float:
+    """ω″ for uniform piece counts: the probability one bootstrapped
+    peer needs nothing from another (eq. (4)); ``≈ log(M)/M`` for
+    large M, which the paper adopts."""
+    if n_pieces < 1:
+        raise ValueError("need at least one piece")
+    if n_pieces == 1:
+        return 1.0
+    if not exact:
+        return math.log(n_pieces) / n_pieces
+    # Exact evaluation of eq. (4) with p_m = 1/M over m = 1..M-1.
+    big_m = n_pieces
+    p = 1.0 / big_m
+    total = 0.0
+    for mj in range(1, big_m):
+        inner = 0.0
+        for mi in range(1, mj + 1):
+            # (M-mi)! mj! / (M! (mj-mi)!) = C(mj, mi)/C(M, mi)
+            inner += p * (math.comb(mj, mi) / math.comb(big_m, mi))
+        total += p * inner
+    return total
+
+
+@dataclass
+class ModelState:
+    """One timeslot of a population model."""
+
+    t: int
+    x: float
+    y: float
+    z: float
+
+    @property
+    def n(self) -> float:
+        """Total population."""
+        return self.x + self.y + self.z
+
+    @property
+    def unbootstrapped(self) -> float:
+        """x + y: peers with no usable piece yet."""
+        return self.x + self.y
+
+
+class BitTorrentLikeModel:
+    """Equation (1): optimistic unchoking bootstraps newcomers.
+
+    Each bootstrapped peer spends a fraction δ of timeslots on a
+    uniformly random peer; the seeder bootstraps one peer per slot.
+    """
+
+    def __init__(self, n: int, delta: float = 0.2, alpha: float = 0.0,
+                 beta: float = 0.0):
+        if not 0 <= delta <= 1:
+            raise ValueError("delta must be in [0, 1]")
+        self.delta = delta
+        self.alpha = alpha
+        self.beta = beta
+        self.n0 = float(n)
+
+    def bootstrap_probability(self, x: float, n: float) -> float:
+        """P of Fig. 2(a): seeder ∪ some downloader picks the peer."""
+        if n <= 1:
+            return 1.0
+        z = max(n - x, 0.0)
+        p_seeder = 1.0 / n
+        miss = (1.0 - self.delta) + self.delta * (n - 2.0) / (n - 1.0)
+        p_downloader = 1.0 - miss ** z
+        return (p_seeder + p_downloader - p_downloader * p_seeder)
+
+    def trajectory(self, x0: float, steps: int) -> List[ModelState]:
+        """Iterate E[x(t+1)] = x(t)(1−β)(1−P) + α·n(t)."""
+        states = [ModelState(0, x0, 0.0, self.n0 - x0)]
+        x, n = x0, self.n0
+        for t in range(1, steps + 1):
+            p = self.bootstrap_probability(x, n)
+            x = x * (1.0 - self.beta) * (1.0 - p) + self.alpha * n
+            n = (1.0 - self.beta + self.alpha) * n
+            x = min(x, n)
+            states.append(ModelState(t, x, 0.0, n - x))
+        return states
+
+
+class TChainModel:
+    """Equations (2)–(6): chains bootstrap newcomers.
+
+    Each bootstrapped peer participates in K chains per timeslot and
+    engages in *indirect* reciprocity with probability ω — exactly the
+    designations that can land on an un-bootstrapped peer.  A chosen
+    newcomer becomes *partially* bootstrapped (one encrypted piece)
+    for one slot, then fully bootstrapped after reciprocating.
+    """
+
+    def __init__(self, n: int, k_chains: float = 2.0,
+                 n_pieces: int = 100, alpha: float = 0.0,
+                 beta: float = 0.0):
+        self.k = k_chains
+        self.alpha = alpha
+        self.beta = beta
+        self.n0 = float(n)
+        self.omega_prime = omega_prime_uniform(n_pieces)
+        self.omega_double_prime = omega_double_prime_uniform(n_pieces)
+
+    def omega(self, x: float, y: float, z: float) -> float:
+        """Equation (3): probability a chain step is indirect."""
+        n = x + y + z
+        if n <= 1:
+            return 0.0
+        return (x + self.omega_prime * y
+                + self.omega_double_prime * max(z - 1.0, 0.0)) / (n - 1.0)
+
+    def bootstrap_probability(self, x: float, y: float, z_prev: float,
+                              n: float, n_prev: float) -> float:
+        """Equation (2): seeder choice ∪ indirect designations."""
+        if n <= 1:
+            return 1.0
+        omega = self.omega(x, y, z_prev)
+        exponent = self.k * omega * max(z_prev, 0.0)
+        miss = ((n - 1.0) / n) * (
+            ((n - 2.0) / max(n_prev - 1.0, 1.0)) ** exponent)
+        return 1.0 - miss
+
+    def trajectory(self, x0: float, steps: int) -> List[ModelState]:
+        """Iterate equations (5)–(6)."""
+        states = [ModelState(0, x0, 0.0, self.n0 - x0)]
+        x, y, n = x0, 0.0, self.n0
+        x_prev, y_prev, n_prev = x, y, n
+        for t in range(1, steps + 1):
+            z_prev = max(n_prev - x_prev - y_prev, 0.0)
+            p = self.bootstrap_probability(x, y, z_prev, n, n_prev)
+            new_x = self.alpha * n + x * (1.0 - self.beta) * (1.0 - p)
+            new_y = x * (1.0 - self.beta) * p
+            x_prev, y_prev, n_prev = x, y, n
+            n = (1.0 - self.beta + self.alpha) * n
+            x, y = min(new_x, n), new_y
+            states.append(ModelState(t, x, y, max(n - x - y, 0.0)))
+        return states
+
+
+def bootstrap_rate(states: List[ModelState], t: int) -> float:
+    """E[x(t+1)]/x(t): lower is faster bootstrapping."""
+    if states[t].unbootstrapped <= 0:
+        return 0.0
+    return states[t + 1].unbootstrapped / states[t].unbootstrapped
+
+
+def proposition_iii1_holds(n: int, x_t: float, y_t: float,
+                           x_b: float, k_chains: float,
+                           delta: float, n_pieces: int) -> bool:
+    """Sufficient condition (7) for T-Chain to bootstrap faster than
+    BitTorrent shortly after a flash crowd."""
+    z_t = n - x_t - y_t
+    omega_p = omega_prime_uniform(n_pieces)
+    omega_pp = omega_double_prime_uniform(n_pieces)
+    lhs = k_chains * z_t * (
+        (x_t + omega_p * y_t + omega_pp * (z_t - 1.0)) / (n - 1.0))
+    rhs = delta * (n - x_b)
+    return lhs >= rhs
+
+
+def proposition_iii2_holds(n: int, mu: float, nu: float,
+                           k_chains: float, delta: float,
+                           n_pieces: int) -> bool:
+    """Sufficient condition (8) for the long-term regime, with
+    x_t + y_t ≤ μn un-bootstrapped T-Chain peers and x_b ≥ νn
+    BitTorrent ones."""
+    omega_pp = omega_double_prime_uniform(n_pieces)
+    lhs = (1.0 - delta / (n - 1.0)) ** (n * (1.0 - nu))
+    rhs = (1.0 - 1.0 / (n - 1.0)) ** (k_chains * n * (1.0 - mu)
+                                      * omega_pp)
+    return lhs >= rhs

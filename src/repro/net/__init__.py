@@ -1,0 +1,11 @@
+"""Network substrate: uplink bandwidth and neighbor topology.
+
+Following the paper's evaluation assumptions (Sec. IV-A), upload
+bandwidth is the only constrained resource; download bandwidth is
+unlimited and link latency matters only for small control messages.
+"""
+
+from repro.net.bandwidth import Transfer, Uplink
+from repro.net.topology import Topology
+
+__all__ = ["Topology", "Transfer", "Uplink"]

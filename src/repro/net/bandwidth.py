@@ -1,0 +1,156 @@
+"""Uplink bandwidth model.
+
+Each peer owns an :class:`Uplink` with a fixed capacity split across
+``n_slots`` parallel upload slots (the standard slot model of
+BitTorrent simulators: original BitTorrent serves 4 regular unchokes
+plus 1 optimistic unchoke, each at roughly capacity/5).  A piece
+transfer occupies one slot for ``piece_bits / slot_rate`` seconds.
+
+The uplink also keeps the accounting behind the paper's *uplink
+utilization* metric (Fig. 3(b)): bits actually pushed versus capacity
+over the peer's time in the swarm.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Callable, Optional
+
+from repro.sim.engine import EventHandle, Simulator
+
+
+class Transfer:
+    """One in-flight piece upload occupying a slot."""
+
+    __slots__ = ("uplink", "size_kb", "rate_kbps", "started_at",
+                 "on_complete", "meta", "_event", "done", "cancelled")
+
+    def __init__(self, uplink: "Uplink", size_kb: float, rate_kbps: float,
+                 on_complete: Callable[["Transfer"], Any], meta: Any):
+        self.uplink = uplink
+        self.size_kb = size_kb
+        self.rate_kbps = rate_kbps
+        self.started_at = uplink.sim.now
+        self.on_complete = on_complete
+        self.meta = meta
+        self.done = False
+        self.cancelled = False
+        duration = (size_kb * 8.0) / rate_kbps
+        self._event: Optional[EventHandle] = uplink.sim.schedule(
+            duration, self._finish)
+
+    @property
+    def duration(self) -> float:
+        """Nominal transfer duration in seconds."""
+        return (self.size_kb * 8.0) / self.rate_kbps
+
+    def _finish(self) -> None:
+        self.done = True
+        self._event = None
+        self.uplink._complete(self)
+        self.on_complete(self)
+
+    def cancel(self) -> None:
+        """Abort the transfer (e.g. the uploader departed).
+
+        Bits pushed so far still count toward utilization — the
+        bandwidth was really spent.
+        """
+        if self.done or self.cancelled:
+            return
+        self.cancelled = True
+        if self._event is not None:
+            self._event.cancel()
+            self._event = None
+        elapsed = self.uplink.sim.now - self.started_at
+        partial_kb = min(self.size_kb, elapsed * self.rate_kbps / 8.0)
+        self.uplink._abort(self, partial_kb)
+
+
+class Uplink:
+    """A peer's upload link: ``n_slots`` slots of capacity/n each.
+
+    Parameters
+    ----------
+    sim:
+        The simulator (for scheduling and the clock).
+    capacity_kbps:
+        Total upload capacity.  Zero capacity models a strict
+        free-rider; such an uplink never starts transfers.
+    n_slots:
+        Number of parallel upload slots.
+    """
+
+    def __init__(self, sim: Simulator, capacity_kbps: float,
+                 n_slots: int = 4):
+        if n_slots < 1:
+            raise ValueError("n_slots must be >= 1")
+        if capacity_kbps < 0:
+            raise ValueError("capacity must be >= 0")
+        self.sim = sim
+        self.capacity_kbps = capacity_kbps
+        self.n_slots = n_slots
+        self.busy_slots = 0
+        self.kb_sent = 0.0
+        self.opened_at = sim.now
+        self.closed_at: Optional[float] = None
+        self._transfers: list = []
+
+    @property
+    def slot_rate_kbps(self) -> float:
+        """Rate of one slot."""
+        return self.capacity_kbps / self.n_slots
+
+    @property
+    def idle_slots(self) -> int:
+        """Slots currently free."""
+        return self.n_slots - self.busy_slots
+
+    def try_start(self, size_kb: float,
+                  on_complete: Callable[[Transfer], Any],
+                  meta: Any = None) -> Optional[Transfer]:
+        """Start a transfer if a slot is free; ``None`` otherwise.
+
+        A zero-capacity uplink never transfers (strict free-rider).
+        """
+        if self.closed_at is not None:
+            return None
+        if self.capacity_kbps <= 0 or self.busy_slots >= self.n_slots:
+            return None
+        self.busy_slots += 1
+        transfer = Transfer(self, size_kb, self.slot_rate_kbps,
+                            on_complete, meta)
+        self._transfers.append(transfer)
+        return transfer
+
+    def _complete(self, transfer: Transfer) -> None:
+        self.busy_slots -= 1
+        self.kb_sent += transfer.size_kb
+        self._transfers.remove(transfer)
+
+    def _abort(self, transfer: Transfer, partial_kb: float) -> None:
+        self.busy_slots -= 1
+        self.kb_sent += partial_kb
+        self._transfers.remove(transfer)
+
+    def close(self) -> None:
+        """The peer left the swarm: cancel in-flight transfers and
+        freeze the utilization window."""
+        if self.closed_at is not None:
+            return
+        for transfer in list(self._transfers):
+            transfer.cancel()
+        self.closed_at = self.sim.now
+
+    def in_flight(self) -> list:
+        """Currently running transfers (copy)."""
+        return list(self._transfers)
+
+    def utilization(self, now: Optional[float] = None) -> float:
+        """Fraction of capacity actually used while in the swarm."""
+        end = self.closed_at if self.closed_at is not None else (
+            self.sim.now if now is None else now)
+        elapsed = end - self.opened_at
+        if elapsed <= 0 or self.capacity_kbps <= 0:
+            return 0.0
+        return min(1.0, (self.kb_sent * 8.0)
+                   / (self.capacity_kbps * elapsed))

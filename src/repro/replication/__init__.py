@@ -1,0 +1,44 @@
+"""File replication over T-Chain — the paper's generality claim,
+exercised on a second resource.
+
+Section VI lists "file replication (and preservation)" among the
+applications T-Chain should carry to.  Here the shared resource is
+*storage*, not upload bandwidth: peers want off-site replicas of
+their objects; storing someone's replica is the contribution, a
+durable replica is the benefit, and free-riders are peers who want
+replicas hosted but never host any.
+
+The exchange maps one-to-one onto the file-sharing protocol
+(:mod:`repro.core` is reused unchanged):
+
+* the **donor** stores the requestor's object, but the replica starts
+  *pending* — the donor withholds its storage commitment (the
+  file-sharing analogue of withholding the decryption key), so the
+  replica is not yet durable for the owner;
+* the donor designates a **payee** whose object the requestor must
+  store in turn (pay-it-forward across asymmetric storage needs);
+* once the payee reports the reciprocation, the donor issues the
+  commitment: the replica becomes durable, and the payee's new
+  pending replica continues the chain.
+
+A replica whose commitment never arrives is dropped at the donor's
+next audit — a free-rider can fill other peers' disks with nothing.
+"""
+
+from repro.replication.node import NodeKind, StorageNode
+from repro.replication.objects import ReplicaState, StoredObject
+from repro.replication.system import (
+    ReplicationConfig,
+    ReplicationReport,
+    ReplicationSystem,
+)
+
+__all__ = [
+    "NodeKind",
+    "ReplicaState",
+    "ReplicationConfig",
+    "ReplicationReport",
+    "ReplicationSystem",
+    "StorageNode",
+    "StoredObject",
+]

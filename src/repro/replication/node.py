@@ -1,0 +1,84 @@
+"""Storage nodes for the preservation extension."""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass, field
+from typing import Dict, List, Set
+
+from repro.replication.objects import ReplicaState, StoredObject
+
+
+class NodeKind(enum.Enum):
+    """Behavioural class of a storage node."""
+
+    COMPLIANT = "compliant"
+    FREERIDER = "freerider"  # wants replicas, never stores any
+
+
+@dataclass
+class StorageNode:
+    """One participant in the replication network.
+
+    ``capacity_units`` bounds how many replica-units the node can
+    host for others; its *own* objects live elsewhere (primary copy).
+    """
+
+    node_id: str
+    capacity_units: int
+    kind: NodeKind = NodeKind.COMPLIANT
+    alive: bool = True
+    #: objects this node owns (primary copies)
+    objects: List[StoredObject] = field(default_factory=list)
+    #: object_id -> state for replicas this node hosts for others
+    hosted: Dict[int, ReplicaState] = field(default_factory=dict)
+    #: counters for fairness accounting
+    stored_for_others: int = 0
+    commitments_received: int = 0
+
+    @property
+    def used_units(self) -> int:
+        """Replica units currently hosted (pending or committed)."""
+        return sum(1 for state in self.hosted.values()
+                   if state is not ReplicaState.DROPPED)
+
+    @property
+    def free_units(self) -> int:
+        """Remaining hosting capacity."""
+        return max(0, self.capacity_units - self.used_units)
+
+    def can_host(self) -> bool:
+        """Willing and able to host one more replica?"""
+        if not self.alive:
+            return False
+        if self.kind is NodeKind.FREERIDER:
+            return False
+        return self.free_units > 0
+
+    def host(self, object_id: int) -> None:
+        """Start hosting a replica (pending until committed)."""
+        if object_id in self.hosted:
+            raise ValueError(
+                f"{self.node_id} already hosts object {object_id}")
+        self.hosted[object_id] = ReplicaState.PENDING
+        self.stored_for_others += 1
+
+    def commit(self, object_id: int) -> None:
+        """The exchange completed: the replica is durable."""
+        if self.hosted.get(object_id) is ReplicaState.PENDING:
+            self.hosted[object_id] = ReplicaState.COMMITTED
+
+    def drop(self, object_id: int) -> None:
+        """Stop hosting (audit of an uncommitted replica, or churn)."""
+        self.hosted.pop(object_id, None)
+
+    def hosted_ids(self, state: ReplicaState = None) -> Set[int]:
+        """Object ids hosted, optionally filtered by state."""
+        if state is None:
+            return set(self.hosted)
+        return {oid for oid, s in self.hosted.items() if s is state}
+
+    def needs_replicas(self, target: int) -> List[StoredObject]:
+        """Own objects below the target replication factor."""
+        return [obj for obj in self.objects
+                if obj.replication_factor() < target]

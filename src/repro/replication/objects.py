@@ -1,0 +1,44 @@
+"""Objects and replicas for the preservation extension."""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass, field
+from typing import Dict, Set
+
+
+class ReplicaState(enum.Enum):
+    """Lifecycle of one replica held at one node."""
+
+    PENDING = "pending"      # stored, commitment withheld
+    COMMITTED = "committed"  # durable: counts toward replication
+    DROPPED = "dropped"      # audited out (no commitment arrived)
+
+
+@dataclass
+class StoredObject:
+    """An object some owner wants preserved off-site.
+
+    ``object_id`` doubles as the ledger's ``piece_index`` so the
+    unmodified :class:`repro.core.exchange.ExchangeLedger` can referee
+    replication exchanges.
+    """
+
+    object_id: int
+    owner_id: str
+    size_units: int = 1
+    #: node id -> replica state for replicas of this object
+    replicas: Dict[str, ReplicaState] = field(default_factory=dict)
+
+    def committed_replicas(self) -> Set[str]:
+        """Nodes durably holding this object."""
+        return {node for node, state in self.replicas.items()
+                if state is ReplicaState.COMMITTED}
+
+    def replication_factor(self) -> int:
+        """Number of committed off-site replicas."""
+        return len(self.committed_replicas())
+
+    def drop_at(self, node_id: str) -> None:
+        """The node stopped holding the replica (failure or audit)."""
+        self.replicas.pop(node_id, None)

@@ -1,0 +1,179 @@
+"""The discrete-event simulator core.
+
+The engine keeps a heap of ``(time, sequence, handle)`` entries.  The
+sequence number makes event ordering fully deterministic: two events
+scheduled for the same instant fire in scheduling order, regardless of
+heap internals.  Cancellation is O(1) (lazy deletion).
+
+All randomness in a simulation flows through :attr:`Simulator.rng`, a
+single seeded ``random.Random``; running the same scenario with the same
+seed therefore reproduces the same event trace bit-for-bit.
+"""
+
+from __future__ import annotations
+
+import heapq
+import random
+from typing import Any, Callable, List, Optional
+
+
+class SimulatorError(RuntimeError):
+    """Raised on simulator misuse (e.g. scheduling in the past)."""
+
+
+class EventHandle:
+    """A scheduled callback; may be cancelled before it fires.
+
+    Handles are returned by :meth:`Simulator.schedule` and
+    :meth:`Simulator.schedule_at`.  They are single-shot: once fired or
+    cancelled they are inert.
+    """
+
+    __slots__ = ("time", "seq", "callback", "args", "cancelled")
+
+    def __init__(self, time: float, seq: int,
+                 callback: Callable[..., Any], args: tuple):
+        self.time = time
+        self.seq = seq
+        self.callback = callback
+        self.args = args
+        self.cancelled = False
+
+    def cancel(self) -> None:
+        """Prevent the event from firing.  Idempotent."""
+        self.cancelled = True
+        # Drop references so cancelled events do not pin object graphs
+        # while they wait to be popped from the heap.
+        self.callback = _noop
+        self.args = ()
+
+    @property
+    def pending(self) -> bool:
+        """True while the event is scheduled and not cancelled."""
+        return not self.cancelled and self.callback is not _noop
+
+    def __lt__(self, other: "EventHandle") -> bool:
+        return (self.time, self.seq) < (other.time, other.seq)
+
+    def __repr__(self) -> str:  # pragma: no cover - debug helper
+        state = "cancelled" if self.cancelled else "pending"
+        return f"EventHandle(t={self.time:.6g}, seq={self.seq}, {state})"
+
+
+def _noop() -> None:
+    """Placeholder callback installed when a handle is cancelled."""
+
+
+class Simulator:
+    """A deterministic discrete-event simulator.
+
+    Parameters
+    ----------
+    seed:
+        Seed for the simulation-wide random number generator.  Every
+        stochastic decision made by the layers above (peer selection,
+        arrival times, bandwidth draws, ...) must use :attr:`rng` so
+        that runs are reproducible.
+    """
+
+    def __init__(self, seed: int = 0):
+        self.now: float = 0.0
+        self.rng = random.Random(seed)
+        self.seed = seed
+        self._heap: List[EventHandle] = []
+        self._seq = 0
+        self._events_fired = 0
+        self._running = False
+
+    # ------------------------------------------------------------------
+    # Scheduling
+    # ------------------------------------------------------------------
+    def schedule(self, delay: float, callback: Callable[..., Any],
+                 *args: Any) -> EventHandle:
+        """Schedule ``callback(*args)`` to fire ``delay`` from now."""
+        if delay < 0:
+            raise SimulatorError(f"negative delay: {delay!r}")
+        return self.schedule_at(self.now + delay, callback, *args)
+
+    def schedule_at(self, time: float, callback: Callable[..., Any],
+                    *args: Any) -> EventHandle:
+        """Schedule ``callback(*args)`` at an absolute simulation time."""
+        if time < self.now:
+            raise SimulatorError(
+                f"cannot schedule at {time!r}, now is {self.now!r}")
+        handle = EventHandle(time, self._seq, callback, args)
+        self._seq += 1
+        heapq.heappush(self._heap, handle)
+        return handle
+
+    def call_now(self, callback: Callable[..., Any],
+                 *args: Any) -> EventHandle:
+        """Schedule a callback for the current instant (after the
+        currently-firing event completes)."""
+        return self.schedule(0.0, callback, *args)
+
+    # ------------------------------------------------------------------
+    # Execution
+    # ------------------------------------------------------------------
+    def step(self) -> bool:
+        """Fire the single next pending event.
+
+        Returns ``False`` when the event queue is exhausted.
+        """
+        while self._heap:
+            handle = heapq.heappop(self._heap)
+            if handle.cancelled:
+                continue
+            self.now = handle.time
+            callback, args = handle.callback, handle.args
+            handle.cancel()  # mark consumed before user code runs
+            callback(*args)
+            self._events_fired += 1
+            return True
+        return False
+
+    def run(self, until: Optional[float] = None,
+            max_events: Optional[int] = None) -> None:
+        """Run until the queue drains, ``until`` is reached, or
+        ``max_events`` events have fired.
+
+        When ``until`` is given, the clock is advanced to exactly
+        ``until`` even if the last event fires earlier.
+        """
+        if self._running:
+            raise SimulatorError("run() is not reentrant")
+        self._running = True
+        fired = 0
+        try:
+            while self._heap:
+                head = self._heap[0]
+                if head.cancelled:
+                    heapq.heappop(self._heap)
+                    continue
+                if until is not None and head.time > until:
+                    break
+                if max_events is not None and fired >= max_events:
+                    break
+                self.step()
+                fired += 1
+        finally:
+            self._running = False
+        if until is not None and self.now < until:
+            self.now = until
+
+    # ------------------------------------------------------------------
+    # Introspection
+    # ------------------------------------------------------------------
+    @property
+    def pending_events(self) -> int:
+        """Number of scheduled, not-yet-cancelled events."""
+        return sum(1 for h in self._heap if not h.cancelled)
+
+    @property
+    def events_fired(self) -> int:
+        """Total number of events executed so far."""
+        return self._events_fired
+
+    def __repr__(self) -> str:  # pragma: no cover - debug helper
+        return (f"Simulator(now={self.now:.6g}, pending="
+                f"{self.pending_events}, fired={self._events_fired})")

@@ -1,0 +1,27 @@
+"""Streaming on T-Chain — the paper's first named future direction.
+
+Section VI: "Future work will include the application of T-Chain to
+streaming, ...".  This package supplies that application: a
+video-on-demand playback model with startup buffering and stall
+accounting, a sliding-window piece-selection policy that replaces
+Local-Rarest-First near the playhead, and a factory that turns any of
+the repository's leecher protocols into a streaming viewer.
+
+The interesting question — the one Give-to-Get [10] and Accelerated
+Chaining [31] tackled with weaker incentives — is whether QoE
+(startup latency, playback continuity) survives free-riders.  Under
+T-Chain it does: the same forced-reciprocation machinery that protects
+bulk downloads protects the playhead.
+"""
+
+from repro.streaming.player import PlaybackSession, PlayerState
+from repro.streaming.policy import windowed_piece_choice
+from repro.streaming.peers import make_streaming, streaming_metrics
+
+__all__ = [
+    "PlaybackSession",
+    "PlayerState",
+    "make_streaming",
+    "streaming_metrics",
+    "windowed_piece_choice",
+]

@@ -1,0 +1,127 @@
+"""Streaming viewers: any leecher protocol + a playback session.
+
+:func:`make_streaming` wraps a leecher class the same way the attack
+factory wraps free-riders: the subclass attaches a
+:class:`PlaybackSession`, switches piece selection to the sliding
+window, keeps the viewer in the swarm until *playback* (not just the
+download) finishes — a streaming viewer naturally seeds while
+watching — and reports QoE through :func:`streaming_metrics`.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Type
+
+from repro.streaming.player import PlaybackSession
+from repro.streaming.policy import windowed_piece_choice
+
+_CLASS_CACHE: Dict[tuple, type] = {}
+
+
+@dataclass(frozen=True)
+class StreamingConfig:
+    """Playback parameters for a viewer population."""
+
+    piece_duration_s: float = 1.0
+    startup_buffer: int = 3
+    window: int = 8
+
+
+def make_streaming(leecher_cls: Type,
+                   streaming: StreamingConfig = StreamingConfig()
+                   ) -> Type:
+    """A streaming-viewer subclass of ``leecher_cls`` (cached)."""
+    cache_key = (leecher_cls, streaming)
+    cached = _CLASS_CACHE.get(cache_key)
+    if cached is not None:
+        return cached
+
+    class StreamingViewer(leecher_cls):
+        """A leecher that watches while it downloads."""
+
+        def __init__(self, swarm, peer_id: Optional[str] = None,
+                     capacity_kbps: Optional[float] = None):
+            super().__init__(swarm, peer_id, capacity_kbps)
+            self.session = PlaybackSession(
+                self.sim, swarm.torrent.n_pieces,
+                piece_duration_s=streaming.piece_duration_s,
+                startup_buffer=streaming.startup_buffer)
+            self._watch_task = None
+
+        def on_join(self) -> None:
+            super().on_join()
+            self.session.begin(self.sim.now)
+
+        def choose_piece_from(self, uploader):
+            candidates = self.book.needs_from(
+                uploader.book.completed)
+            if not candidates:
+                return None
+            books = [p.book.completed
+                     for p in self.neighbor_peers()]
+            return windowed_piece_choice(
+                candidates, self.session.next_piece,
+                streaming.window, books, self.sim.rng)
+
+        def on_piece_completed(self, piece: int) -> None:
+            super().on_piece_completed(piece)
+            self.session.on_piece(piece)
+
+        def on_download_complete(self) -> None:
+            # A viewer keeps seeding until the credits roll, then
+            # leaves; the swarm's finished-hook still fires now.
+            self.swarm.on_peer_finished(self)
+            if self.session.finished:
+                self.leave()
+            else:
+                self._watch_task = self.sim.schedule(
+                    streaming.piece_duration_s, self._check_done)
+
+        def _check_done(self) -> None:
+            if not self.active:
+                return
+            if self.session.finished:
+                self.leave()
+            else:
+                self._watch_task = self.sim.schedule(
+                    streaming.piece_duration_s, self._check_done)
+
+    StreamingViewer.__name__ = f"Streaming{leecher_cls.__name__}"
+    StreamingViewer.__qualname__ = StreamingViewer.__name__
+    _CLASS_CACHE[cache_key] = StreamingViewer
+    return StreamingViewer
+
+
+@dataclass
+class StreamingReport:
+    """QoE aggregates over a viewer population."""
+
+    viewers: int
+    finished: int
+    mean_startup_s: Optional[float]
+    mean_stalls: float
+    mean_stall_time_s: float
+    mean_continuity: float
+
+
+def streaming_metrics(viewers: List, now: float) -> StreamingReport:
+    """Aggregate the sessions of ``viewers`` (peers from
+    :func:`make_streaming`)."""
+    sessions = [v.session for v in viewers]
+    startups = [s.startup_latency_s for s in sessions
+                if s.startup_latency_s is not None]
+    started = [s for s in sessions
+               if s.playback_started_at is not None]
+    return StreamingReport(
+        viewers=len(sessions),
+        finished=sum(1 for s in sessions if s.finished),
+        mean_startup_s=(sum(startups) / len(startups)
+                        if startups else None),
+        mean_stalls=(sum(s.stall_count for s in started)
+                     / len(started)) if started else 0.0,
+        mean_stall_time_s=(sum(s.stall_time_s(now) for s in started)
+                           / len(started)) if started else 0.0,
+        mean_continuity=(sum(s.continuity_index(now) for s in started)
+                         / len(started)) if started else 0.0,
+    )

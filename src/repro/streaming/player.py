@@ -1,0 +1,146 @@
+"""The playback model: startup buffering, in-order consumption,
+stalls.
+
+A :class:`PlaybackSession` consumes pieces strictly in order at the
+media rate (one piece per ``piece_duration_s``).  Playback starts once
+``startup_buffer`` contiguous pieces are available; if the next piece
+is missing at its deadline the player stalls until it arrives.  The
+session records the three QoE quantities streaming work cares about:
+startup latency, stall count/total stall time, and the continuity
+index (playback time over wall time after startup).
+"""
+
+from __future__ import annotations
+
+import enum
+from typing import Optional, Set
+
+from repro.sim.engine import Simulator
+
+
+class PlayerState(enum.Enum):
+    """Player lifecycle."""
+
+    BUFFERING = "buffering"
+    PLAYING = "playing"
+    STALLED = "stalled"
+    FINISHED = "finished"
+
+
+class PlaybackSession:
+    """One viewer's playback of an ``n_pieces``-piece stream."""
+
+    def __init__(self, sim: Simulator, n_pieces: int,
+                 piece_duration_s: float = 1.0,
+                 startup_buffer: int = 3):
+        if n_pieces < 1:
+            raise ValueError("a stream needs at least one piece")
+        if startup_buffer < 1:
+            raise ValueError("startup_buffer must be >= 1")
+        self.sim = sim
+        self.n_pieces = n_pieces
+        self.piece_duration_s = piece_duration_s
+        self.startup_buffer = min(startup_buffer, n_pieces)
+        self.state = PlayerState.BUFFERING
+        self.next_piece = 0
+        self.started_watching_at: Optional[float] = None
+        self.playback_started_at: Optional[float] = None
+        self.finished_at: Optional[float] = None
+        self.stall_count = 0
+        self.total_stall_s = 0.0
+        self._stall_since: Optional[float] = None
+        self._available: Set[int] = set()
+
+    # ------------------------------------------------------------------
+    # Inputs
+    # ------------------------------------------------------------------
+    def begin(self, now: float) -> None:
+        """The viewer pressed play (typically at swarm join)."""
+        if self.started_watching_at is None:
+            self.started_watching_at = now
+
+    def on_piece(self, piece: int) -> None:
+        """A piece became available (decrypted/complete)."""
+        if not 0 <= piece < self.n_pieces:
+            raise IndexError(f"piece {piece} out of stream range")
+        self._available.add(piece)
+        if self.state is PlayerState.BUFFERING:
+            if self._contiguous_from(self.next_piece) \
+                    >= self.startup_buffer:
+                self._start_playing()
+        elif self.state is PlayerState.STALLED \
+                and piece == self.next_piece:
+            self._resume()
+
+    # ------------------------------------------------------------------
+    # Internals
+    # ------------------------------------------------------------------
+    def _contiguous_from(self, start: int) -> int:
+        count = 0
+        piece = start
+        while piece in self._available:
+            count += 1
+            piece += 1
+        return count
+
+    def _start_playing(self) -> None:
+        self.state = PlayerState.PLAYING
+        self.playback_started_at = self.sim.now
+        self.sim.schedule(self.piece_duration_s, self._consume)
+
+    def _resume(self) -> None:
+        self.state = PlayerState.PLAYING
+        self.total_stall_s += self.sim.now - self._stall_since
+        self._stall_since = None
+        self.sim.schedule(self.piece_duration_s, self._consume)
+
+    def _consume(self) -> None:
+        if self.state is not PlayerState.PLAYING:
+            return
+        self.next_piece += 1
+        if self.next_piece >= self.n_pieces:
+            self.state = PlayerState.FINISHED
+            self.finished_at = self.sim.now
+            return
+        if self.next_piece in self._available:
+            self.sim.schedule(self.piece_duration_s, self._consume)
+        else:
+            self.state = PlayerState.STALLED
+            self.stall_count += 1
+            self._stall_since = self.sim.now
+
+    # ------------------------------------------------------------------
+    # QoE metrics
+    # ------------------------------------------------------------------
+    @property
+    def startup_latency_s(self) -> Optional[float]:
+        """Seconds from pressing play to playback start."""
+        if self.playback_started_at is None \
+                or self.started_watching_at is None:
+            return None
+        return self.playback_started_at - self.started_watching_at
+
+    def stall_time_s(self, now: Optional[float] = None) -> float:
+        """Total stalled seconds (including an ongoing stall)."""
+        total = self.total_stall_s
+        if self._stall_since is not None:
+            total += (now if now is not None
+                      else self.sim.now) - self._stall_since
+        return total
+
+    def continuity_index(self, now: Optional[float] = None) -> float:
+        """Playback time over (playback + stall) time; 1.0 = smooth."""
+        if self.playback_started_at is None:
+            return 0.0
+        end = self.finished_at if self.finished_at is not None else (
+            now if now is not None else self.sim.now)
+        wall = end - self.playback_started_at
+        if wall <= 0:
+            return 1.0
+        stalled = self.stall_time_s(end)
+        return max(0.0, (wall - stalled) / wall)
+
+    @property
+    def finished(self) -> bool:
+        """Did playback reach the end of the stream?"""
+        return self.state is PlayerState.FINISHED

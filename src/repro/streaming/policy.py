@@ -1,0 +1,40 @@
+"""Streaming piece selection: sliding-window priority.
+
+Bulk file sharing uses Local-Rarest-First; streaming cannot — the
+playhead needs the *next* pieces, rare or not.  The standard
+compromise (used by Give-to-Get and BitTorrent-based VoD systems) is
+a sliding window: pieces within ``window`` of the playhead are fetched
+in order; outside the window the policy falls back to rarest-first
+prefetching, which keeps the swarm's piece diversity (and therefore
+T-Chain's tradeable inventory) healthy.
+"""
+
+from __future__ import annotations
+
+from random import Random
+from typing import AbstractSet, Iterable, Optional, Set
+
+from repro.bt.piece_selection import local_rarest_first
+
+
+def windowed_piece_choice(candidates: Set[int],
+                          playhead: int,
+                          window: int,
+                          neighbor_books: Iterable[AbstractSet[int]],
+                          rng: Random) -> Optional[int]:
+    """Pick a piece for a streaming viewer.
+
+    ``candidates`` are the pieces the uploader can provide and the
+    viewer still wants; ``playhead`` is the next piece the player will
+    consume.  In-window candidates win, earliest first; otherwise
+    fall back to LRF over the rest.
+    """
+    if not candidates:
+        return None
+    if window < 0:
+        raise ValueError("window must be >= 0")
+    urgent = [p for p in candidates
+              if playhead <= p < playhead + window]
+    if urgent:
+        return min(urgent)
+    return local_rarest_first(candidates, neighbor_books, rng)

@@ -1,0 +1,19 @@
+"""Arrival and churn workloads for swarm experiments."""
+
+from repro.workloads.arrivals import (
+    ArrivalSchedule,
+    flash_crowd,
+    poisson_arrivals,
+    schedule_arrivals,
+)
+from repro.workloads.churn import ReplacementChurn
+from repro.workloads.trace import redhat9_like_trace
+
+__all__ = [
+    "ArrivalSchedule",
+    "ReplacementChurn",
+    "flash_crowd",
+    "poisson_arrivals",
+    "redhat9_like_trace",
+    "schedule_arrivals",
+]

@@ -1,0 +1,75 @@
+"""Leecher arrival models.
+
+The paper uses two arrival regimes (Sec. IV-A):
+
+* **flash crowd** — all leechers join within the first 10 seconds
+  (a just-released popular file); and
+* **continuous stream** — arrivals spread over time, mirroring the
+  RedHat 9 tracker trace (see :mod:`repro.workloads.trace`).
+
+An :class:`ArrivalSchedule` is protocol-agnostic: it is a list of
+(time, factory) pairs, where each factory builds a peer when its
+arrival fires.  :func:`schedule_arrivals` installs the schedule into a
+swarm's simulator.
+"""
+
+from __future__ import annotations
+
+from random import Random
+from typing import Callable, List, Sequence, Tuple
+
+PeerFactory = Callable[[], object]
+
+
+class ArrivalSchedule:
+    """A fixed list of (arrival time, peer factory) pairs."""
+
+    def __init__(self, entries: Sequence[Tuple[float, PeerFactory]]):
+        self.entries: List[Tuple[float, PeerFactory]] = sorted(
+            entries, key=lambda e: e[0])
+
+    def __len__(self) -> int:
+        return len(self.entries)
+
+    def __iter__(self):
+        return iter(self.entries)
+
+    @property
+    def last_arrival(self) -> float:
+        """Time of the final arrival (0.0 when empty)."""
+        if not self.entries:
+            return 0.0
+        return self.entries[-1][0]
+
+
+def flash_crowd(factories: Sequence[PeerFactory], rng: Random,
+                window_s: float = 10.0) -> ArrivalSchedule:
+    """All peers arrive uniformly within ``window_s`` (Sec. IV-A)."""
+    return ArrivalSchedule(
+        [(rng.uniform(0.0, window_s), f) for f in factories])
+
+
+def poisson_arrivals(factories: Sequence[PeerFactory], rng: Random,
+                     rate_per_s: float) -> ArrivalSchedule:
+    """Homogeneous Poisson arrivals at ``rate_per_s``."""
+    if rate_per_s <= 0:
+        raise ValueError("rate must be positive")
+    entries = []
+    t = 0.0
+    for factory in factories:
+        t += rng.expovariate(rate_per_s)
+        entries.append((t, factory))
+    return ArrivalSchedule(entries)
+
+
+def schedule_arrivals(swarm, schedule: ArrivalSchedule) -> None:
+    """Install the schedule: each entry joins its peer at its time."""
+    for time, factory in schedule:
+        swarm.note_arrival_scheduled()
+        swarm.sim.schedule_at(time, _arrive, swarm, factory)
+
+
+def _arrive(swarm, factory: PeerFactory) -> None:
+    swarm.note_arrival_happened()
+    peer = factory()
+    peer.join()

@@ -1,0 +1,46 @@
+"""Replacement churn for the small-file experiments (Sec. IV-I).
+
+Fig. 13's workload: 1000 leechers join as a flash crowd; whenever a
+leecher finishes and leaves, a fresh newcomer immediately replaces it.
+This sustains maximal churn, which is exactly where fixed bootstrap
+allocations (BitTorrent/PropShare) fall over and where T-Chain's
+demand-driven bootstrapping shines.
+"""
+
+from __future__ import annotations
+
+from typing import Callable
+
+PeerFactory = Callable[[], object]
+
+
+class ReplacementChurn:
+    """Replaces every finished leecher with a newcomer.
+
+    Attach to a swarm before running; detach (or let the horizon end)
+    to stop.  ``spawned`` counts replacements for test assertions.
+    """
+
+    def __init__(self, swarm, factory: PeerFactory,
+                 horizon_s: float):
+        self.swarm = swarm
+        self.factory = factory
+        self.horizon_s = horizon_s
+        self.spawned = 0
+        swarm.on_finished = self._replace
+
+    def _replace(self, finished_peer) -> None:
+        if self.swarm.sim.now >= self.horizon_s:
+            return
+        self.spawned += 1
+        # Join at the same instant the finisher departs: schedule at
+        # now so the departure completes first.
+        self.swarm.note_arrival_scheduled()
+        self.swarm.sim.call_now(self._join)
+
+    def _join(self) -> None:
+        self.swarm.note_arrival_happened()
+        if self.swarm.sim.now >= self.horizon_s:
+            return
+        peer = self.factory()
+        peer.join()

@@ -1,0 +1,135 @@
+"""Tests for metrics, statistics and reporting."""
+
+import math
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.analysis.metrics import PeerRecord, cdf_points, gini
+from repro.analysis.reporting import format_series, format_table
+from repro.analysis.stats import (
+    Summary,
+    confidence_interval_95,
+    mean,
+    percentile,
+    stddev,
+    summarize,
+)
+
+
+def record(**overrides):
+    defaults = dict(
+        peer_id="L1", kind="leecher", capacity_kbps=800.0,
+        join_time=0.0, finish_time=100.0, leave_time=100.0,
+        kb_uploaded=1024.0, kb_downloaded=2048.0,
+        pieces_uploaded=4, pieces_downloaded=8, pieces_completed=8,
+        utilization=0.8)
+    defaults.update(overrides)
+    return PeerRecord(**defaults)
+
+
+class TestPeerRecord:
+    def test_completion_time(self):
+        assert record(join_time=10.0,
+                      finish_time=60.0).completion_time == 50.0
+        assert record(finish_time=None).completion_time is None
+        assert not record(finish_time=None).completed
+
+    def test_fairness_factor(self):
+        assert record().fairness_factor == 2.0
+        assert record(pieces_uploaded=0).fairness_factor is None
+
+    def test_throughput(self):
+        assert record().throughput_kbps(100.0) == \
+            pytest.approx(2048 * 8 / 100)
+        assert record().throughput_kbps(0.0) == 0.0
+
+
+class TestStats:
+    def test_mean(self):
+        assert mean([1, 2, 3]) == 2.0
+        assert mean([]) == 0.0
+
+    def test_stddev(self):
+        assert stddev([2, 4, 4, 4, 5, 5, 7, 9]) == pytest.approx(
+            2.138, rel=1e-3)
+        assert stddev([5]) == 0.0
+
+    def test_ci95(self):
+        values = [10.0] * 30
+        assert confidence_interval_95(values) == 0.0
+        assert confidence_interval_95([1.0]) == 0.0
+
+    def test_summarize(self):
+        s = summarize([1.0, 2.0, 3.0, None])
+        assert isinstance(s, Summary)
+        assert s.mean == 2.0
+        assert s.n == 3
+        assert s.minimum == 1.0 and s.maximum == 3.0
+        assert summarize([None, None]) is None
+        assert "n=3" in str(s)
+
+    def test_percentile(self):
+        xs = [1, 2, 3, 4, 5]
+        assert percentile(xs, 0) == 1
+        assert percentile(xs, 50) == 3
+        assert percentile(xs, 100) == 5
+        assert percentile(xs, 25) == 2.0
+        with pytest.raises(ValueError):
+            percentile([], 50)
+        with pytest.raises(ValueError):
+            percentile(xs, 120)
+
+    @given(st.lists(st.floats(min_value=-1e6, max_value=1e6),
+                    min_size=2, max_size=50))
+    @settings(max_examples=60, deadline=None)
+    def test_mean_between_min_max(self, values):
+        m = mean(values)
+        assert min(values) - 1e-6 <= m <= max(values) + 1e-6
+
+
+class TestCdfAndGini:
+    def test_cdf_points(self):
+        points = cdf_points([3.0, 1.0, 2.0])
+        assert points == [(1.0, pytest.approx(1 / 3)),
+                          (2.0, pytest.approx(2 / 3)),
+                          (3.0, pytest.approx(1.0))]
+        assert cdf_points([]) == []
+
+    def test_gini_equal_is_zero(self):
+        assert gini([5.0, 5.0, 5.0]) == pytest.approx(0.0)
+
+    def test_gini_concentrated_is_high(self):
+        assert gini([0.0, 0.0, 0.0, 100.0]) > 0.7
+
+    def test_gini_empty_and_zero(self):
+        assert gini([]) == 0.0
+        assert gini([0.0, 0.0]) == 0.0
+
+    @given(st.lists(st.floats(min_value=0, max_value=1e6),
+                    min_size=1, max_size=40))
+    @settings(max_examples=60, deadline=None)
+    def test_gini_bounds(self, values):
+        g = gini(values)
+        assert -1e-9 <= g <= 1.0
+
+
+class TestReporting:
+    def test_format_table_alignment(self):
+        text = format_table(["a", "bb"], [(1, 2.5), (30, None)],
+                            title="T")
+        lines = text.splitlines()
+        assert lines[0] == "T"
+        assert "a" in lines[2] and "bb" in lines[2]
+        assert "-" in lines[3]
+        assert "30" in text and "2.5" in text and "-" in text
+
+    def test_format_series(self):
+        text = format_series("s", [(1.0, 2.0)], "x", "y")
+        assert "s" in text and "[x -> y]" in text
+
+    def test_float_formatting(self):
+        text = format_table(["v"], [(0.000123,), (12345.6,), (0.0,)])
+        assert "0.000123" in text
+        assert "12346" in text

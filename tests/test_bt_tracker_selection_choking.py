@@ -1,0 +1,167 @@
+"""Unit tests for tracker, piece selection and choking machinery."""
+
+import random
+
+import pytest
+
+from repro.bt.choking import Choker, ContributionTracker, DeficitLedger
+from repro.bt.piece_selection import (
+    availability,
+    local_rarest_first,
+    random_piece,
+)
+from repro.bt.tracker import Tracker
+
+
+class TestTracker:
+    def test_announce_excludes_requester(self):
+        tr = Tracker(random.Random(1), list_size=10)
+        for pid in "ABC":
+            tr.join(pid)
+        assert "A" not in tr.announce("A")
+
+    def test_announce_respects_list_size(self):
+        tr = Tracker(random.Random(1), list_size=3)
+        for i in range(20):
+            tr.join(f"P{i}")
+        assert len(tr.announce("X")) == 3
+
+    def test_announce_returns_all_when_small(self):
+        tr = Tracker(random.Random(1), list_size=50)
+        tr.join("A")
+        tr.join("B")
+        assert sorted(tr.announce("X")) == ["A", "B"]
+
+    def test_leave_removes_member(self):
+        tr = Tracker(random.Random(1))
+        tr.join("A")
+        tr.leave("A")
+        assert not tr.is_member("A")
+        assert tr.member_count == 0
+
+    def test_announce_is_seed_deterministic(self):
+        def results(seed):
+            tr = Tracker(random.Random(seed), list_size=5)
+            for i in range(30):
+                tr.join(f"P{i}")
+            return tr.announce("X")
+        assert results(7) == results(7)
+
+    def test_bad_list_size(self):
+        with pytest.raises(ValueError):
+            Tracker(random.Random(1), list_size=0)
+
+
+class TestPieceSelection:
+    def test_availability_counts(self):
+        counts = availability([0, 1], [{0}, {0, 1}, set()])
+        assert counts == {0: 2, 1: 1}
+
+    def test_lrf_picks_rarest(self):
+        rng = random.Random(1)
+        piece = local_rarest_first({0, 1, 2},
+                                   [{0, 1}, {0, 1}, {0}], rng)
+        assert piece == 2  # zero copies
+
+    def test_lrf_tie_break_uniform(self):
+        seen = set()
+        for seed in range(30):
+            seen.add(local_rarest_first({0, 1}, [{0, 1}],
+                                        random.Random(seed)))
+        assert seen == {0, 1}
+
+    def test_lrf_empty(self):
+        assert local_rarest_first(set(), [], random.Random(1)) is None
+
+    def test_random_piece(self):
+        assert random_piece({5}, random.Random(1)) == 5
+        assert random_piece(set(), random.Random(1)) is None
+
+
+class TestContributionTracker:
+    def test_roll_moves_window(self):
+        t = ContributionTracker()
+        t.record("A", 10)
+        assert t.last_round("A") == 0.0
+        t.roll()
+        assert t.last_round("A") == 10.0
+        t.roll()
+        assert t.last_round("A") == 0.0
+
+    def test_forget(self):
+        t = ContributionTracker()
+        t.record("A", 10)
+        t.roll()
+        t.forget("A")
+        assert t.last_round("A") == 0.0
+
+
+class TestChoker:
+    def test_top_contributors_win(self):
+        rng = random.Random(1)
+        t = ContributionTracker()
+        for peer, kb in [("A", 30), ("B", 20), ("C", 10), ("D", 5)]:
+            t.record(peer, kb)
+        t.roll()
+        choker = Choker(regular_slots=2, rng=rng)
+        unchoked = choker.rechoke(["A", "B", "C", "D"], t)
+        assert unchoked == {"A", "B"}
+
+    def test_random_fill_when_too_few_contributors(self):
+        rng = random.Random(1)
+        t = ContributionTracker()
+        t.record("A", 10)
+        t.roll()
+        choker = Choker(regular_slots=3, rng=rng)
+        unchoked = choker.rechoke(["A", "B", "C"], t)
+        assert "A" in unchoked
+        assert len(unchoked) == 3
+
+    def test_optimistic_excludes_unchoked(self):
+        rng = random.Random(1)
+        choker = Choker(regular_slots=1, rng=rng)
+        choker.unchoked = {"A"}
+        pick = choker.rotate_optimistic(["A", "B"])
+        assert pick == "B"
+        assert choker.all_unchoked() == {"A", "B"}
+
+    def test_optimistic_none_available(self):
+        choker = Choker(regular_slots=1, rng=random.Random(1))
+        choker.unchoked = {"A"}
+        assert choker.rotate_optimistic(["A"]) is None
+
+    def test_forget(self):
+        choker = Choker(regular_slots=1, rng=random.Random(1))
+        choker.unchoked = {"A"}
+        choker.optimistic = "B"
+        choker.forget("A")
+        choker.forget("B")
+        assert choker.all_unchoked() == set()
+
+
+class TestDeficitLedger:
+    def test_deficit_arithmetic(self):
+        d = DeficitLedger()
+        d.on_sent("A", 100)
+        d.on_received("A", 30)
+        assert d.deficit("A") == 70.0
+        assert d.deficit("stranger") == 0.0
+
+    def test_lowest_deficit_prefers_creditors(self):
+        d = DeficitLedger()
+        d.on_received("A", 100)  # we owe A
+        d.on_sent("B", 50)
+        assert d.lowest_deficit(["A", "B", "C"]) == ["A"]
+
+    def test_lowest_deficit_ties(self):
+        d = DeficitLedger()
+        assert sorted(d.lowest_deficit(["A", "B"])) == ["A", "B"]
+
+    def test_forget_resets_whitewash_style(self):
+        d = DeficitLedger()
+        d.on_received("A", 100)
+        d.forget("A")
+        assert d.deficit("A") == 0.0
+
+    def test_empty(self):
+        assert DeficitLedger().lowest_deficit([]) == []

@@ -1,0 +1,66 @@
+"""Unit tests for the wire-message dataclasses."""
+
+import pytest
+
+from repro.core.crypto import SealedPiece, generate_key
+from repro.core.messages import (
+    EncryptedPieceMessage,
+    KeyReleaseMessage,
+    PlainPieceMessage,
+    ReceptionReport,
+)
+
+
+def sealed(piece=3):
+    return SealedPiece.seal(piece, generate_key(("A", "B", 0)))
+
+
+class TestEncryptedPieceMessage:
+    def test_fields_and_immutability(self):
+        msg = EncryptedPieceMessage(
+            transaction_id=1, chain_id=2, sealed=sealed(),
+            donor_id="A", requestor_id="B", payee_id="C",
+            reciprocates=None)
+        assert msg.sealed.piece_index == 3
+        assert msg.reciprocates is None
+        with pytest.raises(AttributeError):
+            msg.payee_id = "D"
+
+    def test_initiation_vs_continuation(self):
+        initiation = EncryptedPieceMessage(
+            1, 2, sealed(), "A", "B", "C")
+        continuation = EncryptedPieceMessage(
+            2, 2, sealed(), "B", "C", "D", reciprocates=1)
+        assert initiation.reciprocates is None
+        assert continuation.reciprocates == 1
+
+
+class TestReceptionReport:
+    def test_truthful_by_default(self):
+        report = ReceptionReport(reporter_id="C", requestor_id="B",
+                                 reported_transaction_id=1)
+        assert report.truthful
+
+    def test_false_report_flagged(self):
+        report = ReceptionReport("C", "B", 1, truthful=False)
+        assert not report.truthful
+
+
+class TestOtherMessages:
+    def test_key_release_carries_key(self):
+        key = generate_key(("A", "B", 9))
+        msg = KeyReleaseMessage(transaction_id=9, key=key)
+        assert msg.key is key
+
+    def test_plain_piece_is_unconditional(self):
+        msg = PlainPieceMessage(transaction_id=5, chain_id=1,
+                                piece_index=7, donor_id="X",
+                                requestor_id="Y")
+        assert msg.reciprocates is None
+        assert msg.piece_index == 7
+
+    def test_messages_hashable(self):
+        """Frozen dataclasses: usable as dict keys in handlers."""
+        report = ReceptionReport("C", "B", 1)
+        key_msg = KeyReleaseMessage(1, generate_key(("A", "B", 1)))
+        assert {report: 1, key_msg: 2}

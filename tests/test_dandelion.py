@@ -1,0 +1,137 @@
+"""Tests for the Dandelion credit-based baseline."""
+
+import pytest
+
+from repro.attacks import FreeRiderOptions
+from repro.bt.config import SwarmConfig
+from repro.bt.protocols import PROTOCOLS
+from repro.bt.protocols.dandelion import (
+    CreditBank,
+    INITIAL_CREDIT,
+    SEEDER_FREE_CAP,
+)
+from repro.bt.swarm import Swarm
+from repro.experiments import run_swarm
+
+
+class TestCreditBank:
+    def test_enroll_grants_once(self):
+        bank = CreditBank()
+        bank.enroll("A")
+        bank.enroll("A")
+        assert bank.balance("A") == INITIAL_CREDIT
+        assert bank.grants == 1
+
+    def test_settle_moves_credit(self):
+        bank = CreditBank()
+        bank.enroll("up")
+        bank.enroll("down")
+        assert bank.settle("up", "down")
+        assert bank.balance("down") == INITIAL_CREDIT - 1
+        assert bank.balance("up") == INITIAL_CREDIT + 1
+
+    def test_settle_refuses_broke_downloader(self):
+        bank = CreditBank()
+        bank.enroll("up")
+        assert not bank.settle("up", "stranger")
+        assert bank.balance("up") == INITIAL_CREDIT
+
+    def test_supply_conserved_by_p2p_settlement(self):
+        bank = CreditBank()
+        for pid in ("a", "b", "c"):
+            bank.enroll(pid)
+        total_before = sum(bank.balance(p) for p in ("a", "b", "c"))
+        bank.settle("a", "b")
+        bank.settle("b", "c")
+        bank.settle("c", "a")
+        total_after = sum(bank.balance(p) for p in ("a", "b", "c"))
+        assert total_after == total_before
+
+    def test_seeder_quota_then_charging(self):
+        bank = CreditBank()
+        bank.enroll("X")
+        for _ in range(SEEDER_FREE_CAP):
+            assert bank.settle_seeder("X")
+        assert bank.free_quota_left("X") == 0
+        # beyond the quota the downloader pays (burned at provider)
+        balance = bank.balance("X")
+        assert bank.settle_seeder("X")
+        assert bank.balance("X") == balance - 1
+
+    def test_seeder_can_serve_logic(self):
+        bank = CreditBank()
+        assert bank.seeder_can_serve("newcomer")  # quota available
+        for _ in range(SEEDER_FREE_CAP):
+            bank.settle_seeder("newcomer")
+        assert not bank.seeder_can_serve("newcomer")  # broke + no quota
+
+    def test_message_accounting(self):
+        bank = CreditBank()
+        bank.enroll("A")
+        bank.enroll("B")
+        before = bank.message_count
+        bank.settle("A", "B")
+        bank.settle_seeder("A")
+        assert bank.message_count == before + 4
+
+    def test_bank_singleton_per_swarm(self):
+        swarm = Swarm(SwarmConfig(n_pieces=4, seed=1))
+        assert CreditBank.of(swarm) is CreditBank.of(swarm)
+
+
+class TestDandelionSwarm:
+    def test_compliant_swarm_completes(self):
+        result = run_swarm(protocol="dandelion", leechers=20,
+                           pieces=10, seed=2)
+        assert result.completion_rate("leecher") == 1.0
+
+    def test_plain_freeriders_capped_by_budget(self):
+        """A non-whitewashing free-rider can spend only its grant plus
+        the seeder quota — it never completes (Table II: fairness and
+        altruism immunity good)."""
+        options = FreeRiderOptions(large_view=True, whitewash=False)
+        result = run_swarm(protocol="dandelion", leechers=25,
+                           pieces=12, seed=2, freerider_fraction=0.25,
+                           freerider_options=options)
+        metrics = result.metrics
+        assert metrics.completion_rate("freerider") == 0.0
+        budget = INITIAL_CREDIT + SEEDER_FREE_CAP
+        for record in metrics.by_kind("freerider"):
+            # a little slack: pieces in flight when the budget ran out
+            assert record.pieces_completed <= budget + 4
+
+    def test_whitewashing_defeats_the_grant(self):
+        """Each fresh identity brings a fresh grant + quota — exactly
+        the exploitable fixed-bootstrap the paper criticizes."""
+        options = FreeRiderOptions(large_view=True, whitewash=True)
+        result = run_swarm(protocol="dandelion", leechers=25,
+                           pieces=12, seed=2, freerider_fraction=0.25,
+                           freerider_options=options)
+        assert result.metrics.completion_rate("freerider") > 0.5
+
+    def test_tchain_unaffected_by_the_same_whitewash(self):
+        options = FreeRiderOptions(large_view=True, whitewash=True)
+        result = run_swarm(protocol="tchain", leechers=25, pieces=12,
+                           seed=2, freerider_fraction=0.25,
+                           freerider_options=options)
+        assert result.metrics.completion_rate("freerider") == 0.0
+
+    def test_compliant_not_hurt_by_plain_freeriders(self):
+        clean = run_swarm(protocol="dandelion", leechers=25,
+                          pieces=12, seed=2)
+        options = FreeRiderOptions(large_view=True, whitewash=False)
+        attacked = run_swarm(protocol="dandelion", leechers=25,
+                             pieces=12, seed=2,
+                             freerider_fraction=0.25,
+                             freerider_options=options)
+        assert attacked.mean_completion_time() <= \
+            1.5 * clean.mean_completion_time()
+
+    def test_central_server_load_scales_with_transfers(self):
+        result = run_swarm(protocol="dandelion", leechers=15,
+                           pieces=8, seed=3)
+        bank = result.swarm._credit_bank
+        total_pieces = sum(r.pieces_downloaded
+                           for r in result.metrics.records)
+        # every transfer cost the central server ~2 messages
+        assert bank.message_count >= 2 * total_pieces * 0.9

@@ -1,0 +1,233 @@
+"""Tests for the Section III analytical models."""
+
+import math
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.models.bootstrap import (
+    BitTorrentLikeModel,
+    TChainModel,
+    bootstrap_rate,
+    omega_double_prime_uniform,
+    omega_prime_uniform,
+    proposition_iii1_holds,
+    proposition_iii2_holds,
+)
+from repro.models.collusion import (
+    collusion_success_probability,
+    collusion_success_probability_closed_form,
+    collusion_success_probability_paper_form,
+    simulate_collusion_probability,
+)
+from repro.models.overhead import OverheadModel, measure_encryption_rate
+
+
+class TestOmegas:
+    def test_omega_prime_matches_paper_example(self):
+        """Paper: ω′ = 0.495 for M = 100 with uniform p_m."""
+        assert omega_prime_uniform(100) == pytest.approx(0.495)
+
+    def test_omega_double_prime_approximation(self):
+        """ω″ ≈ log(M)/M for large M."""
+        assert omega_double_prime_uniform(100) == pytest.approx(
+            math.log(100) / 100)
+
+    def test_omega_double_prime_exact_close_to_approx(self):
+        exact = omega_double_prime_uniform(64, exact=True)
+        approx = omega_double_prime_uniform(64)
+        assert exact == pytest.approx(approx, rel=0.6)
+
+    def test_omega_double_prime_le_prime(self):
+        """The paper assumes ω″ ≤ ω′ throughout."""
+        for m in (10, 50, 100, 500):
+            assert omega_double_prime_uniform(m) <= \
+                omega_prime_uniform(m)
+
+    def test_invalid_inputs(self):
+        with pytest.raises(ValueError):
+            omega_prime_uniform(0)
+        with pytest.raises(ValueError):
+            omega_double_prime_uniform(0)
+
+
+class TestBitTorrentLikeModel:
+    def test_population_conserved_without_churn(self):
+        model = BitTorrentLikeModel(n=100)
+        states = model.trajectory(x0=100.0, steps=30)
+        for s in states:
+            assert s.n == pytest.approx(100.0)
+
+    def test_unbootstrapped_monotonically_decreases(self):
+        model = BitTorrentLikeModel(n=100)
+        states = model.trajectory(x0=100.0, steps=50)
+        xs = [s.x for s in states]
+        assert all(b <= a for a, b in zip(xs, xs[1:]))
+        assert xs[-1] < 1.0
+
+    def test_population_grows_with_arrivals(self):
+        model = BitTorrentLikeModel(n=100, alpha=0.05, beta=0.0)
+        states = model.trajectory(x0=50.0, steps=10)
+        assert states[-1].n > 100.0
+
+    def test_alpha_equals_beta_keeps_n_constant(self):
+        model = BitTorrentLikeModel(n=100, alpha=0.02, beta=0.02)
+        states = model.trajectory(x0=50.0, steps=20)
+        assert states[-1].n == pytest.approx(100.0)
+
+    def test_delta_validation(self):
+        with pytest.raises(ValueError):
+            BitTorrentLikeModel(n=10, delta=1.5)
+
+
+class TestTChainModel:
+    def test_partial_bootstrap_stage_exists(self):
+        model = TChainModel(n=100)
+        states = model.trajectory(x0=100.0, steps=5)
+        assert any(s.y > 0 for s in states[1:])
+
+    def test_everyone_bootstraps_eventually(self):
+        model = TChainModel(n=100)
+        states = model.trajectory(x0=100.0, steps=60)
+        assert states[-1].unbootstrapped < 1.0
+
+    def test_population_conserved(self):
+        model = TChainModel(n=200)
+        for s in model.trajectory(x0=150.0, steps=30):
+            assert s.n == pytest.approx(200.0)
+
+    def test_tchain_faster_than_bittorrent_flash_crowd(self):
+        """The Sec. III-B3 comparison: starting from a flash crowd,
+        T-Chain's un-bootstrapped count falls faster (K=2, δ=0.2)."""
+        n, x0 = 200, 150.0
+        bt = BitTorrentLikeModel(n=n, delta=0.2).trajectory(x0, 25)
+        tc = TChainModel(n=n, k_chains=2.0,
+                         n_pieces=100).trajectory(x0, 25)
+        assert tc[10].unbootstrapped < bt[10].unbootstrapped
+        assert tc[25].unbootstrapped < bt[25].unbootstrapped
+
+    def test_bootstrap_rate_helper(self):
+        model = TChainModel(n=100)
+        states = model.trajectory(x0=80.0, steps=5)
+        rate = bootstrap_rate(states, 1)
+        assert 0.0 <= rate <= 1.0
+
+
+class TestPropositions:
+    def test_proposition_iii1_paper_example(self):
+        """δ=0.2, ω′≈0.495, μ=0.5, K=2 satisfies Kω′μ ≥ δ."""
+        n = 1000
+        x_t = 500.0  # half un-bootstrapped
+        assert proposition_iii1_holds(
+            n=n, x_t=x_t, y_t=0.0, x_b=x_t, k_chains=2.0, delta=0.2,
+            n_pieces=100)
+
+    def test_proposition_iii1_fails_for_tiny_k(self):
+        n = 1000
+        assert not proposition_iii1_holds(
+            n=n, x_t=10.0, y_t=0.0, x_b=10.0, k_chains=0.01,
+            delta=0.2, n_pieces=100)
+
+    def test_proposition_iii2_kw_gt_delta(self):
+        """Large-n limit: Kω″ > δ(1−ν)/(1−μ) suffices."""
+        assert proposition_iii2_holds(
+            n=1000, mu=0.1, nu=0.5, k_chains=10.0, delta=0.2,
+            n_pieces=100)
+
+    def test_proposition_iii2_fails_when_delta_large(self):
+        assert not proposition_iii2_holds(
+            n=1000, mu=0.1, nu=0.1, k_chains=1.0, delta=0.9,
+            n_pieces=10000)
+
+
+class TestCollusionModel:
+    def test_zero_without_two_colluders(self):
+        assert collusion_success_probability(1000, 0, 50) == 0.0
+        assert collusion_success_probability(1000, 1, 50) == 0.0
+
+    def test_small_for_small_colluder_sets(self):
+        """m ≪ N ⇒ P_s very small (the paper's claim)."""
+        ps = collusion_success_probability(1000, 10, 50)
+        assert ps < 1e-3
+
+    def test_grows_with_colluder_fraction(self):
+        ps = [collusion_success_probability(1000, m, 50)
+              for m in (5, 50, 250, 500)]
+        assert ps == sorted(ps)
+
+    def test_probability_bounds(self):
+        for m in (0, 10, 100, 1000):
+            ps = collusion_success_probability(1000, m, 50)
+            assert 0.0 <= ps <= 1.0
+
+    def test_hypergeometric_sum_telescopes(self):
+        """The hypergeometric sum equals m(m−1)/(N(N−1)) exactly."""
+        for (n, m, b) in [(200, 50, 20), (1000, 100, 50), (50, 10, 10)]:
+            assert collusion_success_probability(n, m, b) == \
+                pytest.approx(
+                    collusion_success_probability_closed_form(n, m))
+
+    def test_monte_carlo_agrees_with_closed_form(self):
+        closed = collusion_success_probability(200, 50, 20)
+        mc = simulate_collusion_probability(200, 50, 20,
+                                            trials=40000, seed=1)
+        assert mc == pytest.approx(closed, rel=0.1)
+
+    def test_paper_form_supports_same_conclusion_for_small_sets(self):
+        """For m ≪ N both forms are tiny (the paper form requires the
+        first l draws to all be colluders, so it under-counts)."""
+        ours = collusion_success_probability(1000, 10, 50)
+        papers = collusion_success_probability_paper_form(1000, 10, 50)
+        assert papers <= ours < 1e-3
+
+    def test_paper_form_misnormalizes_for_large_sets(self):
+        """Documented discrepancy: the literal P_l is not a
+        distribution, so the printed sum can exceed 1."""
+        assert collusion_success_probability_paper_form(
+            1000, 1000, 50) > 1.0
+        assert collusion_success_probability(1000, 1000, 50) <= 1.0
+
+    def test_invalid_inputs(self):
+        with pytest.raises(ValueError):
+            collusion_success_probability(1, 0, 50)
+        with pytest.raises(ValueError):
+            collusion_success_probability(100, 200, 50)
+
+    @given(st.integers(min_value=2, max_value=60),
+           st.integers(min_value=2, max_value=30))
+    @settings(max_examples=40, deadline=None)
+    def test_probability_valid_for_random_params(self, m, b):
+        ps = collusion_success_probability(100, min(m, 100), b)
+        assert 0.0 <= ps <= 1.0
+
+
+class TestOverheadModel:
+    def test_paper_encryption_overhead(self):
+        """Paper: 1 GB at 8 Mbps, 0.715 ms per 128 KB piece →
+        crypto ≈ 12 s vs 1024 s transfer, < 1.2 %."""
+        model = OverheadModel(file_mb=1024.0, piece_kb=128.0,
+                              bandwidth_kbps=8000.0,
+                              cipher_rate_kb_per_s=128 / 0.000715)
+        assert model.transfer_time_s == pytest.approx(1048.576)
+        assert model.crypto_time_s == pytest.approx(12.0, rel=0.35)
+        assert model.encryption_overhead < 0.012
+
+    def test_paper_space_overhead(self):
+        """Paper: 256 KB of keys for a 1 GB file (0.02 %)."""
+        model = OverheadModel(file_mb=1024.0, piece_kb=128.0)
+        assert model.key_storage_bytes == 8192 * 32
+        assert model.space_overhead == pytest.approx(0.000244, rel=0.05)
+
+    def test_chain_completion_bound(self):
+        model = OverheadModel()
+        assert model.chain_completion_slots(10) == 12
+        with pytest.raises(ValueError):
+            model.chain_completion_slots(0)
+
+    def test_report_overhead_tiny(self):
+        assert OverheadModel().report_overhead() < 0.001
+
+    def test_measured_cipher_rate_positive(self):
+        rate = measure_encryption_rate(piece_kb=32, repetitions=1)
+        assert rate > 0

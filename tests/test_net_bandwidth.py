@@ -1,0 +1,135 @@
+"""Unit tests for the uplink slot model."""
+
+import pytest
+
+from repro.net.bandwidth import Uplink
+from repro.sim import Simulator
+
+
+def make_uplink(capacity=1000.0, slots=4, seed=0):
+    sim = Simulator(seed=seed)
+    return sim, Uplink(sim, capacity, slots)
+
+
+class TestSlotModel:
+    def test_slot_rate(self):
+        _, up = make_uplink(capacity=1000.0, slots=4)
+        assert up.slot_rate_kbps == 250.0
+
+    def test_transfer_duration(self):
+        sim, up = make_uplink(capacity=1000.0, slots=4)
+        done = []
+        up.try_start(256.0, lambda t: done.append(sim.now))
+        sim.run()
+        # 256 KB = 2048 Kbit at 250 Kbps -> 8.192 s
+        assert done == [pytest.approx(8.192)]
+
+    def test_slots_limit_concurrency(self):
+        sim, up = make_uplink(slots=2)
+        assert up.try_start(100, lambda t: None) is not None
+        assert up.try_start(100, lambda t: None) is not None
+        assert up.try_start(100, lambda t: None) is None
+        assert up.idle_slots == 0
+
+    def test_slot_freed_on_completion(self):
+        sim, up = make_uplink(slots=1)
+        up.try_start(100, lambda t: None)
+        sim.run()
+        assert up.idle_slots == 1
+        assert up.busy_slots == 0
+
+    def test_parallel_transfers_do_not_interfere(self):
+        sim, up = make_uplink(capacity=800.0, slots=2)
+        times = []
+        up.try_start(100.0, lambda t: times.append(sim.now))
+        up.try_start(100.0, lambda t: times.append(sim.now))
+        sim.run()
+        # Each slot runs at 400 Kbps: 800 Kbit / 400 = 2 s, both finish
+        # together.
+        assert times == [pytest.approx(2.0), pytest.approx(2.0)]
+
+    def test_zero_capacity_never_transfers(self):
+        sim, up = make_uplink(capacity=0.0)
+        assert up.try_start(100, lambda t: None) is None
+
+    def test_invalid_args_rejected(self):
+        sim = Simulator()
+        with pytest.raises(ValueError):
+            Uplink(sim, 100.0, n_slots=0)
+        with pytest.raises(ValueError):
+            Uplink(sim, -1.0)
+
+
+class TestAccounting:
+    def test_kb_sent_accumulates(self):
+        sim, up = make_uplink()
+        up.try_start(100, lambda t: None)
+        up.try_start(50, lambda t: None)
+        sim.run()
+        assert up.kb_sent == 150.0
+
+    def test_utilization_full_when_saturated(self):
+        sim, up = make_uplink(capacity=1000.0, slots=1)
+        up.try_start(125.0, lambda t: None)  # exactly 1 s at 1000 Kbps
+        sim.run()
+        assert up.utilization() == pytest.approx(1.0)
+
+    def test_utilization_half_when_half_idle(self):
+        sim, up = make_uplink(capacity=1000.0, slots=1)
+        up.try_start(125.0, lambda t: None)
+        sim.run()
+        sim.schedule(1.0, lambda: None)
+        sim.run()  # now = 2 s, only 1 s of work done
+        assert up.utilization() == pytest.approx(0.5)
+
+    def test_utilization_zero_capacity(self):
+        sim, up = make_uplink(capacity=0.0)
+        sim.schedule(5.0, lambda: None)
+        sim.run()
+        assert up.utilization() == 0.0
+
+
+class TestCancellation:
+    def test_cancel_frees_slot_and_counts_partial(self):
+        sim, up = make_uplink(capacity=1000.0, slots=1)
+        transfer = up.try_start(125.0, lambda t: None)  # 1 s nominal
+        sim.schedule(0.5, transfer.cancel)
+        sim.run()
+        assert up.idle_slots == 1
+        assert up.kb_sent == pytest.approx(62.5)  # half pushed
+        assert transfer.cancelled and not transfer.done
+
+    def test_cancel_suppresses_completion_callback(self):
+        sim, up = make_uplink(slots=1)
+        done = []
+        transfer = up.try_start(100, lambda t: done.append(1))
+        transfer.cancel()
+        sim.run()
+        assert done == []
+
+    def test_cancel_after_done_is_noop(self):
+        sim, up = make_uplink(slots=1)
+        transfer = up.try_start(100, lambda t: None)
+        sim.run()
+        transfer.cancel()
+        assert up.kb_sent == 100.0
+
+    def test_close_cancels_all_and_freezes_window(self):
+        sim, up = make_uplink(capacity=1000.0, slots=2)
+        up.try_start(125.0, lambda t: None)
+        up.try_start(125.0, lambda t: None)
+        sim.schedule(0.25, up.close)
+        sim.run()
+        assert up.closed_at == pytest.approx(0.25)
+        assert up.in_flight() == []
+        # after close, no new transfers
+        assert up.try_start(10, lambda t: None) is None
+
+    def test_utilization_uses_closed_window(self):
+        sim, up = make_uplink(capacity=1000.0, slots=1)
+        up.try_start(125.0, lambda t: None)  # 1 s
+        sim.run()
+        up.close()
+        sim.schedule(10.0, lambda: None)
+        sim.run()
+        assert up.utilization() == pytest.approx(1.0)

@@ -1,0 +1,126 @@
+"""Unit tests for the neighbor topology."""
+
+import pytest
+
+from repro.net.topology import Topology
+
+
+def topo(max_neighbors=3, refill=2):
+    return Topology(max_neighbors=max_neighbors,
+                    refill_threshold=refill)
+
+
+class TestEdges:
+    def test_connect_is_symmetric(self):
+        t = topo()
+        t.add_peer("A")
+        t.add_peer("B")
+        assert t.connect("A", "B")
+        assert t.are_neighbors("A", "B")
+        assert t.are_neighbors("B", "A")
+
+    def test_self_connect_rejected(self):
+        t = topo()
+        t.add_peer("A")
+        assert not t.connect("A", "A")
+
+    def test_connect_unknown_peer_rejected(self):
+        t = topo()
+        t.add_peer("A")
+        assert not t.connect("A", "ghost")
+
+    def test_duplicate_connect_is_idempotent(self):
+        t = topo()
+        t.add_peer("A")
+        t.add_peer("B")
+        t.connect("A", "B")
+        assert t.connect("A", "B")
+        assert t.degree("A") == 1
+
+    def test_disconnect(self):
+        t = topo()
+        t.add_peer("A")
+        t.add_peer("B")
+        t.connect("A", "B")
+        t.disconnect("A", "B")
+        assert not t.are_neighbors("A", "B")
+        assert t.degree("B") == 0
+
+    def test_duplicate_add_rejected(self):
+        t = topo()
+        t.add_peer("A")
+        with pytest.raises(ValueError):
+            t.add_peer("A")
+
+
+class TestCaps:
+    def test_max_neighbors_enforced(self):
+        t = topo(max_neighbors=2)
+        for pid in "ABCD":
+            t.add_peer(pid)
+        assert t.connect("A", "B")
+        assert t.connect("A", "C")
+        assert not t.connect("A", "D")
+        assert t.degree("A") == 2
+
+    def test_cap_applies_to_both_sides(self):
+        t = topo(max_neighbors=1)
+        for pid in "ABC":
+            t.add_peer(pid)
+        t.connect("A", "B")
+        assert not t.connect("C", "B")  # B is full
+
+    def test_unlimited_peer_bypasses_cap(self):
+        t = topo(max_neighbors=1)
+        t.add_peer("F", unlimited=True)
+        for pid in "ABC":
+            t.add_peer(pid)
+        assert t.connect("F", "A")
+        assert t.connect("F", "B")
+        assert t.connect("F", "C")
+        assert t.degree("F") == 3
+
+    def test_needs_refill(self):
+        t = topo(max_neighbors=5, refill=2)
+        t.add_peer("A")
+        t.add_peer("B")
+        assert t.needs_refill("A")
+        t.connect("A", "B")
+        t.add_peer("C")
+        t.connect("A", "C")
+        assert not t.needs_refill("A")
+
+
+class TestRemoval:
+    def test_remove_severs_all_edges(self):
+        t = topo()
+        for pid in "ABC":
+            t.add_peer(pid)
+        t.connect("A", "B")
+        t.connect("A", "C")
+        gone = t.remove_peer("A")
+        assert sorted(gone) == ["B", "C"]
+        assert t.degree("B") == 0
+        assert "A" not in t
+
+    def test_remove_fires_disconnect_callbacks(self):
+        t = topo()
+        events = []
+        t.on_disconnect = lambda rem, dep: events.append((rem, dep))
+        for pid in "ABC":
+            t.add_peer(pid)
+        t.connect("A", "B")
+        t.connect("A", "C")
+        t.remove_peer("A")
+        assert sorted(events) == [("B", "A"), ("C", "A")]
+
+    def test_remove_unknown_is_noop(self):
+        assert topo().remove_peer("ghost") == []
+
+    def test_len_counts_peers(self):
+        t = topo()
+        t.add_peer("A")
+        t.add_peer("B")
+        assert len(t) == 2
+        t.remove_peer("A")
+        assert len(t) == 1

@@ -1,0 +1,143 @@
+"""Tests for the replication/preservation extension."""
+
+import pytest
+
+from repro.replication import (
+    NodeKind,
+    ReplicaState,
+    ReplicationConfig,
+    ReplicationSystem,
+    StorageNode,
+    StoredObject,
+)
+
+
+class TestObjects:
+    def test_replication_factor_counts_committed_only(self):
+        obj = StoredObject(object_id=1, owner_id="A")
+        obj.replicas["B"] = ReplicaState.PENDING
+        obj.replicas["C"] = ReplicaState.COMMITTED
+        assert obj.replication_factor() == 1
+        assert obj.committed_replicas() == {"C"}
+
+    def test_drop_at(self):
+        obj = StoredObject(object_id=1, owner_id="A")
+        obj.replicas["B"] = ReplicaState.COMMITTED
+        obj.drop_at("B")
+        assert obj.replication_factor() == 0
+        obj.drop_at("nobody")  # idempotent
+
+
+class TestStorageNode:
+    def node(self, kind=NodeKind.COMPLIANT, capacity=2):
+        return StorageNode(node_id="N", capacity_units=capacity,
+                           kind=kind)
+
+    def test_capacity_accounting(self):
+        node = self.node(capacity=2)
+        assert node.can_host()
+        node.host(1)
+        node.host(2)
+        assert node.used_units == 2
+        assert not node.can_host()
+
+    def test_double_host_rejected(self):
+        node = self.node()
+        node.host(1)
+        with pytest.raises(ValueError):
+            node.host(1)
+
+    def test_commit_only_from_pending(self):
+        node = self.node()
+        node.host(1)
+        node.commit(1)
+        assert node.hosted[1] is ReplicaState.COMMITTED
+        node.commit(99)  # unknown: no-op
+
+    def test_freerider_never_hosts(self):
+        node = self.node(kind=NodeKind.FREERIDER)
+        assert not node.can_host()
+
+    def test_dead_node_never_hosts(self):
+        node = self.node()
+        node.alive = False
+        assert not node.can_host()
+
+    def test_needs_replicas(self):
+        node = self.node()
+        obj = StoredObject(object_id=7, owner_id="N")
+        node.objects.append(obj)
+        assert node.needs_replicas(1) == [obj]
+        obj.replicas["X"] = ReplicaState.COMMITTED
+        assert node.needs_replicas(1) == []
+
+
+def run_system(mode, freerider_fraction=0.0, seed=3, duration=800.0):
+    config = ReplicationConfig(mode=mode,
+                               freerider_fraction=freerider_fraction,
+                               seed=seed, duration_s=duration)
+    return ReplicationSystem(config).run()
+
+
+class TestReplicationRuns:
+    def test_mode_validation(self):
+        with pytest.raises(ValueError):
+            ReplicationSystem(ReplicationConfig(mode="magic"))
+
+    def test_clean_tchain_reaches_high_durability(self):
+        report = run_system("tchain")
+        assert report.compliant_durability > 0.8
+        assert report.mean_compliant_replication > 1.0
+
+    def test_clean_altruistic_reaches_target(self):
+        report = run_system("altruistic")
+        assert report.compliant_durability > 0.9
+
+    def test_altruistic_freeriders_hog_storage(self):
+        report = run_system("altruistic", freerider_fraction=0.3)
+        assert report.freerider_durability > 0.5
+
+    def test_tchain_freeriders_get_no_durable_replicas(self):
+        report = run_system("tchain", freerider_fraction=0.3)
+        assert report.freerider_durability == 0.0
+        assert report.mean_freerider_replication == 0.0
+
+    def test_tchain_compliant_protected_under_freeriding(self):
+        clean = run_system("tchain")
+        attacked = run_system("tchain", freerider_fraction=0.3)
+        assert attacked.compliant_durability >= \
+            0.85 * clean.compliant_durability
+
+    def test_freerider_objects_eventually_lost(self):
+        """Without durable replicas, churn destroys free-riders'
+        objects — the preservation incentive with teeth."""
+        report = run_system("tchain", freerider_fraction=0.3,
+                            duration=1500.0)
+        assert report.objects_lost > 0
+
+    def test_determinism(self):
+        a = run_system("tchain", freerider_fraction=0.2, seed=9)
+        b = run_system("tchain", freerider_fraction=0.2, seed=9)
+        assert a.compliant_durability == b.compliant_durability
+        assert a.objects_lost == b.objects_lost
+
+    def test_fairness_ratios_bounded_for_compliant(self):
+        report = run_system("tchain")
+        ratios = list(report.storage_fairness.values())
+        assert ratios
+        # nobody durably receives wildly more than they store
+        assert max(ratios) <= 6.0
+
+    def test_audit_reclaims_pending_replicas(self):
+        """Free-riders' never-committed replicas do not permanently
+        occupy honest capacity."""
+        config = ReplicationConfig(mode="tchain",
+                                   freerider_fraction=0.3, seed=5,
+                                   duration_s=800.0)
+        system = ReplicationSystem(config)
+        system.run()
+        for node in system.nodes.values():
+            if node.alive:
+                pending = node.hosted_ids(ReplicaState.PENDING)
+                # bounded backlog, not an ever-growing pile
+                assert len(pending) <= node.capacity_units

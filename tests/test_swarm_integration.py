@@ -1,0 +1,119 @@
+"""Integration tests: full swarm runs across all five protocols.
+
+These exercise the public experiment API end to end and assert the
+system-level invariants the simulator must uphold (conservation of
+pieces, everyone finishing, departure on completion, metric sanity).
+"""
+
+import pytest
+
+from repro.experiments import run_swarm
+
+PROTOCOLS = ["bittorrent", "propshare", "fairtorrent", "random", "tchain"]
+
+
+@pytest.fixture(scope="module", params=PROTOCOLS)
+def completed_run(request):
+    return run_swarm(protocol=request.param, leechers=25, pieces=12,
+                     seed=11)
+
+
+class TestAllProtocolsComplete:
+    def test_everyone_finishes(self, completed_run):
+        assert completed_run.completion_rate("leecher") == 1.0
+
+    def test_leechers_leave_after_finishing(self, completed_run):
+        swarm = completed_run.swarm
+        assert swarm.active_leechers == 0
+        assert len(swarm.leechers()) == 0
+
+    def test_seeder_remains(self, completed_run):
+        assert len(completed_run.swarm.seeders()) == 1
+
+    def test_completion_times_positive_and_ordered(self, completed_run):
+        for record in completed_run.metrics.by_kind("leecher"):
+            assert record.completion_time > 0
+            assert record.finish_time >= record.join_time
+            assert record.leave_time >= record.finish_time
+
+    def test_piece_conservation(self, completed_run):
+        """Every piece a leecher holds was uploaded by someone."""
+        records = completed_run.metrics.records
+        uploaded = sum(r.pieces_uploaded for r in records)
+        downloaded = sum(r.pieces_downloaded for r in records)
+        assert uploaded == downloaded
+        n = completed_run.config.n_pieces
+        for r in records:
+            if r.kind == "leecher":
+                assert r.pieces_completed == n
+
+    def test_downloads_bounded_by_uploads(self, completed_run):
+        """Downloaded payload can exceed completed pieces only for
+        T-Chain (duplicate/encrypted deliveries are bounded too)."""
+        n = completed_run.config.n_pieces
+        for r in completed_run.metrics.by_kind("leecher"):
+            assert r.pieces_downloaded >= n * 0.99 - 1
+            # nobody downloads more than ~2x the file (forgiveness and
+            # reassignment keep duplication tiny)
+            assert r.pieces_downloaded <= 2 * n + 2
+
+    def test_utilization_in_range(self, completed_run):
+        for r in completed_run.metrics.records:
+            assert 0.0 <= r.utilization <= 1.0
+
+    def test_mean_completion_reported(self, completed_run):
+        mct = completed_run.mean_completion_time()
+        assert mct is not None and mct > 0
+
+    def test_optimal_bound_not_violated_badly(self, completed_run):
+        """Measured times cannot beat the fluid optimum."""
+        mct = completed_run.mean_completion_time()
+        assert mct >= 0.8 * completed_run.optimal_time()
+
+
+class TestDeterminism:
+    def test_same_seed_same_outcome(self):
+        a = run_swarm(protocol="tchain", leechers=15, pieces=8, seed=5)
+        b = run_swarm(protocol="tchain", leechers=15, pieces=8, seed=5)
+        assert a.mean_completion_time() == b.mean_completion_time()
+        assert a.swarm.sim.events_fired == b.swarm.sim.events_fired
+
+    def test_different_seed_different_outcome(self):
+        a = run_swarm(protocol="tchain", leechers=15, pieces=8, seed=5)
+        b = run_swarm(protocol="tchain", leechers=15, pieces=8, seed=6)
+        assert a.mean_completion_time() != b.mean_completion_time()
+
+
+class TestArrivalModels:
+    def test_trace_arrivals_complete(self):
+        result = run_swarm(protocol="tchain", leechers=20, pieces=8,
+                           seed=7, arrival="trace", trace_horizon_s=300.0)
+        assert result.completion_rate("leecher") == 1.0
+
+    def test_unknown_arrival_rejected(self):
+        with pytest.raises(ValueError):
+            run_swarm(arrival="martian", leechers=2, pieces=2)
+
+    def test_unknown_protocol_rejected(self):
+        with pytest.raises(ValueError):
+            run_swarm(protocol="gnutella", leechers=2, pieces=2)
+
+
+class TestFileSizing:
+    def test_file_mb_sets_piece_count_per_protocol(self):
+        bt = run_swarm(protocol="bittorrent", leechers=4, file_mb=1.0,
+                       seed=1)
+        tc = run_swarm(protocol="tchain", leechers=4, file_mb=1.0,
+                       seed=1)
+        assert bt.config.piece_size_kb == 256.0
+        assert tc.config.piece_size_kb == 64.0
+        assert bt.config.n_pieces == 4
+        assert tc.config.n_pieces == 16
+        assert bt.config.file_size_mb == tc.config.file_size_mb == 1.0
+
+    def test_initial_piece_fraction(self):
+        result = run_swarm(protocol="tchain", leechers=10, pieces=16,
+                           seed=2, initial_piece_fraction=0.5)
+        # Pre-seeded peers download at most half the file.
+        for r in result.metrics.by_kind("leecher"):
+            assert r.pieces_downloaded <= 16 * 0.5 + 2

@@ -291,8 +291,14 @@ class Peer:
         return self.swarm.topology.neighbors(self.id)
 
     def neighbor_peers(self):
-        """Active neighbor Peer objects."""
-        for nid in self.neighbors():
+        """Active neighbor Peer objects, in sorted-id order.
+
+        The topology hands out a live ``set`` of string ids; iterating
+        it raw would feed per-process hash order into rng draws and
+        upload scheduling downstream.  Sorting here fixes the order
+        for every consumer.
+        """
+        for nid in sorted(self.neighbors()):
             peer = self.swarm.find_peer(nid)
             if peer is not None and peer.active:
                 yield peer

@@ -76,6 +76,9 @@ class TChainState:
         self.registry = ChainRegistry()
         self.ledger = ExchangeLedger(self.registry,
                                      real_crypto=config.real_crypto)
+        # Mirror ledger transitions into the run's sanitizer (if any)
+        # so fair-exchange violations surface with a trace.
+        self.ledger.sanitizer = getattr(swarm.sim, "sanitizer", None)
         self.handover: Set[int] = set()
         self.colluders: Set[str] = set()
         self.stall_timeout_s = config.extra.get(

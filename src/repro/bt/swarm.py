@@ -28,7 +28,8 @@ class Swarm:
 
     def __init__(self, config: SwarmConfig):
         self.config = config
-        self.sim = Simulator(seed=config.seed)
+        self.sim = Simulator(seed=config.seed,
+                             sanitize=bool(config.extra.get("sanitize")))
         self.torrent = Torrent(config.n_pieces, config.piece_size_kb)
         self.tracker = Tracker(self.sim.rng, config.tracker_list_size)
         self.topology = Topology(config.max_neighbors,

@@ -14,6 +14,9 @@ Commands
 ``models``
     The Section III analytical results (bootstrap dynamics, collusion
     probability, overheads).
+``lint``
+    Run the ``simlint`` determinism/protocol static analyzer over
+    source paths (rules SL001-SL006; see docs/DEVTOOLS.md).
 
 Examples
 --------
@@ -24,11 +27,13 @@ Examples
     python -m repro compare --leechers 40 --pieces 16 --freeriders 0.25
     python -m repro figure fig7 --scale 0.5 --seeds 1
     python -m repro models
+    python -m repro lint src/ --disable SL004
 """
 
 from __future__ import annotations
 
 import argparse
+import os
 import sys
 from typing import List, Optional
 
@@ -75,6 +80,20 @@ def build_parser() -> argparse.ArgumentParser:
 
     sub.add_parser("models",
                    help="Section III analytical results")
+
+    lint_p = sub.add_parser(
+        "lint", help="simlint determinism/protocol static analysis")
+    lint_p.add_argument("paths", nargs="*",
+                        help="files/directories (default: [tool.simlint] "
+                             "paths, else src)")
+    lint_p.add_argument("--enable", nargs="+", metavar="RULE",
+                        help="run only these rule ids")
+    lint_p.add_argument("--disable", nargs="+", metavar="RULE",
+                        default=[], help="rule ids to skip")
+    lint_p.add_argument("--no-config", action="store_true",
+                        help="ignore [tool.simlint] in pyproject.toml")
+    lint_p.add_argument("--list-rules", action="store_true",
+                        help="print the rule catalogue and exit")
     return parser
 
 
@@ -239,11 +258,45 @@ def cmd_models(args) -> int:
     return 0
 
 
+def cmd_lint(args) -> int:
+    from repro.devtools import (RULES, SimlintConfig, format_findings,
+                                lint_paths, load_config)
+    if args.list_rules:
+        rows = [(rule.id, rule.name, rule.description)
+                for rule in (RULES[rid] for rid in sorted(RULES))]
+        print(format_table(["id", "name", "checks for"], rows,
+                           title="simlint rules"))
+        return 0
+    config = SimlintConfig() if args.no_config else load_config()
+    if args.enable:
+        config.enable = list(args.enable)
+    if args.disable:
+        config.disable = list(config.disable) + list(args.disable)
+    # A typo'd rule id or path must not turn the CI gate green.
+    unknown = [r for r in {*config.enable, *config.disable}
+               if r.upper() not in RULES]
+    if unknown:
+        print(f"error: unknown rule id(s): {', '.join(sorted(unknown))} "
+              f"(see `repro lint --list-rules`)", file=sys.stderr)
+        return 2
+    paths = args.paths or config.paths
+    missing = [p for p in paths if not os.path.exists(p)]
+    if missing:
+        print(f"error: no such path(s): {', '.join(missing)}",
+              file=sys.stderr)
+        return 2
+    findings = lint_paths(paths, enabled=config.enabled_rules(),
+                          exclude=config.exclude)
+    print(format_findings(findings))
+    return 1 if findings else 0
+
+
 COMMANDS = {
     "run": cmd_run,
     "compare": cmd_compare,
     "figure": cmd_figure,
     "models": cmd_models,
+    "lint": cmd_lint,
 }
 
 

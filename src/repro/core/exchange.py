@@ -45,6 +45,11 @@ class ExchangeLedger:
                  real_crypto: bool = False):
         self.registry = registry if registry is not None else ChainRegistry()
         self.real_crypto = real_crypto
+        #: Optional :class:`repro.devtools.sanitizer.SimulationSanitizer`
+        #: mirroring the ledger's state transitions; set by whoever
+        #: owns the simulator (e.g. ``TChainState``) when the run is
+        #: sanitized.
+        self.sanitizer = None
         self._transactions: Dict[int, Transaction] = {}
         self._keys: Dict[int, Key] = {}
         self._sealed: Dict[int, SealedPiece] = {}
@@ -140,6 +145,8 @@ class ExchangeLedger:
         for party in tx.parties():
             self._open_by_peer.setdefault(party, set()).add(
                 tx.transaction_id)
+        if self.sanitizer is not None:
+            self.sanitizer.on_transaction_created(tx)
         return tx, sealed
 
     def _close_index(self, tx: Transaction) -> None:
@@ -168,6 +175,8 @@ class ExchangeLedger:
         tx = self._transactions[transaction_id]
         tx.advance(TransactionState.DELIVERED)
         tx.delivered_at = now
+        if self.sanitizer is not None:
+            self.sanitizer.on_delivered(tx)
         if not tx.encrypted:
             tx.advance(TransactionState.COMPLETED)
             tx.completed_at = now
@@ -179,6 +188,8 @@ class ExchangeLedger:
         prev = self._transactions[tx.reciprocates]
         if prev.state is TransactionState.DELIVERED:
             prev.advance(TransactionState.RECIPROCATED)
+            if self.sanitizer is not None:
+                self.sanitizer.on_reciprocated(prev, tx)
             return prev
         return None
 
@@ -206,6 +217,8 @@ class ExchangeLedger:
             raise ExchangeError(
                 f"report for transaction {transaction_id} in state "
                 f"{tx.state.value}")
+        if self.sanitizer is not None:
+            self.sanitizer.on_report(tx, truthful)
 
     def release_key(self, transaction_id: int, now: float) -> Key:
         """The donor releases the key; the transaction completes.
@@ -218,6 +231,8 @@ class ExchangeLedger:
             raise ExchangeError(
                 f"key release for transaction {transaction_id} in state "
                 f"{tx.state.value} (report required first)")
+        if self.sanitizer is not None:
+            self.sanitizer.on_key_release(tx)
         tx.advance(TransactionState.COMPLETED)
         tx.completed_at = now
         self.completed_transactions += 1
@@ -264,6 +279,8 @@ class ExchangeLedger:
             raise ExchangeError(
                 f"can only forgive a delivered transaction, not "
                 f"{tx.state.value}")
+        if self.sanitizer is not None:
+            self.sanitizer.on_forgive(tx)
         tx.advance(TransactionState.REPORTED)
         tx.advance(TransactionState.COMPLETED)
         tx.completed_at = now

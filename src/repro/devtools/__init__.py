@@ -1,0 +1,41 @@
+"""Developer tooling guarding the determinism contract.
+
+Two complementary halves:
+
+* :mod:`repro.devtools.rules` / :mod:`repro.devtools.analyzer` — the
+  ``simlint`` static analyzer (``repro lint``): AST rules SL001-SL006
+  catching nondeterminism and protocol hazards at review time.
+* :mod:`repro.devtools.sanitizer` — the runtime simulation sanitizer
+  (``Simulator(sanitize=True)``): shadow-state invariant checks on
+  live runs.
+
+See ``docs/DEVTOOLS.md`` for the rule catalogue and suppression
+syntax.
+"""
+
+from repro.devtools.analyzer import (
+    format_findings,
+    iter_python_files,
+    lint_file,
+    lint_paths,
+    lint_source,
+)
+from repro.devtools.config import SimlintConfig, load_config
+from repro.devtools.rules import RULES, Finding, Rule, all_rule_ids
+from repro.devtools.sanitizer import SanitizerError, SimulationSanitizer
+
+__all__ = [
+    "RULES",
+    "Finding",
+    "Rule",
+    "SanitizerError",
+    "SimlintConfig",
+    "SimulationSanitizer",
+    "all_rule_ids",
+    "format_findings",
+    "iter_python_files",
+    "lint_file",
+    "lint_paths",
+    "lint_source",
+    "load_config",
+]

@@ -1,0 +1,132 @@
+"""File/tree analysis driver for ``simlint``.
+
+Runs the registered rules (:mod:`repro.devtools.rules`) over source
+files and filters the findings through suppression comments:
+
+* line suppression — trailing comment on the *reported* line::
+
+      x = time.time()  # simlint: disable=SL002 -- benchmarking reason
+
+* file suppression — a comment anywhere (conventionally the top)::
+
+      # simlint: disable-file=SL003
+
+``disable=all`` suppresses every rule.  An optional ``-- reason``
+after the rule list documents *why*; the linter keeps it out of the
+match but reviewers should insist on it.
+"""
+
+from __future__ import annotations
+
+import ast
+import os
+import re
+from typing import Dict, Iterable, List, Optional, Sequence, Set
+
+from repro.devtools.rules import RULES, FileContext, Finding
+
+_SUPPRESS_RE = re.compile(
+    r"#\s*simlint:\s*(disable|disable-file)\s*=\s*"
+    r"([A-Za-z0-9_,\s]+?)\s*(?:--.*)?$")
+
+
+def _parse_suppressions(lines: Sequence[str]):
+    """(file-wide rule ids, {line number -> rule ids}).
+
+    ``{"all"}`` in a set suppresses every rule at that scope.
+    """
+    file_wide: Set[str] = set()
+    by_line: Dict[int, Set[str]] = {}
+    for lineno, line in enumerate(lines, start=1):
+        if "simlint" not in line:
+            continue
+        match = _SUPPRESS_RE.search(line)
+        if match is None:
+            continue
+        kind, spec = match.group(1), match.group(2)
+        rules = {r.strip().upper() if r.strip().lower() != "all" else "all"
+                 for r in spec.split(",") if r.strip()}
+        if kind == "disable-file":
+            file_wide |= rules
+        else:
+            by_line.setdefault(lineno, set()).update(rules)
+    return file_wide, by_line
+
+
+def _suppressed(finding: Finding, file_wide: Set[str],
+                by_line: Dict[int, Set[str]]) -> bool:
+    if "all" in file_wide or finding.rule in file_wide:
+        return True
+    line_rules = by_line.get(finding.line, ())
+    return "all" in line_rules or finding.rule in line_rules
+
+
+def lint_source(source: str, path: str = "<string>",
+                enabled: Optional[Iterable[str]] = None) -> List[Finding]:
+    """Lint one source string; returns unsuppressed findings sorted by
+    location.  A syntax error becomes a single ``SL000`` finding."""
+    rule_ids = sorted(enabled) if enabled is not None else sorted(RULES)
+    try:
+        tree = ast.parse(source, filename=path)
+    except SyntaxError as exc:
+        return [Finding(rule="SL000", path=path,
+                        line=exc.lineno or 1, col=(exc.offset or 0) + 1,
+                        message=f"syntax error: {exc.msg}")]
+    ctx = FileContext(path, source, tree)
+    file_wide, by_line = _parse_suppressions(ctx.lines)
+    findings: Set[Finding] = set()
+    for rule_id in rule_ids:
+        rule = RULES.get(rule_id)
+        if rule is None:
+            continue
+        for finding in rule.check(ctx):
+            if not _suppressed(finding, file_wide, by_line):
+                findings.add(finding)
+    return sorted(findings, key=lambda f: (f.path, f.line, f.col, f.rule))
+
+
+def lint_file(path: str,
+              enabled: Optional[Iterable[str]] = None) -> List[Finding]:
+    """Lint one file on disk."""
+    with open(path, "r", encoding="utf-8") as handle:
+        source = handle.read()
+    return lint_source(source, path=path, enabled=enabled)
+
+
+def iter_python_files(paths: Sequence[str],
+                      exclude: Sequence[str] = ()) -> List[str]:
+    """Expand files/directories into a sorted list of ``.py`` files."""
+    out: List[str] = []
+    for path in paths:
+        if os.path.isfile(path):
+            out.append(path)
+            continue
+        for dirpath, dirnames, filenames in os.walk(path):
+            dirnames[:] = sorted(
+                d for d in dirnames
+                if d not in ("__pycache__",) and not d.startswith("."))
+            for name in sorted(filenames):
+                if name.endswith(".py"):
+                    out.append(os.path.join(dirpath, name))
+    def excluded(candidate: str) -> bool:
+        norm = candidate.replace(os.sep, "/")
+        return any(part and part in norm for part in exclude)
+    return sorted(c for c in dict.fromkeys(out) if not excluded(c))
+
+
+def lint_paths(paths: Sequence[str],
+               enabled: Optional[Iterable[str]] = None,
+               exclude: Sequence[str] = ()) -> List[Finding]:
+    """Lint every ``.py`` file under ``paths``."""
+    findings: List[Finding] = []
+    for path in iter_python_files(paths, exclude=exclude):
+        findings.extend(lint_file(path, enabled=enabled))
+    return findings
+
+
+def format_findings(findings: Sequence[Finding]) -> str:
+    """Human-readable report, one line per finding plus a summary."""
+    lines = [f.format() for f in findings]
+    count = len(findings)
+    lines.append(f"simlint: {count} finding{'s' if count != 1 else ''}")
+    return "\n".join(lines)

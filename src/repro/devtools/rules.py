@@ -1,0 +1,566 @@
+"""The ``simlint`` rule set.
+
+Each rule targets one way a change can silently break the repository's
+determinism contract ("same scenario + same seed = bit-identical event
+trace", :mod:`repro.sim.engine`) or the almost-fair-exchange protocol
+invariants (:mod:`repro.core.exchange`):
+
+========  ==========================================================
+SL001     use of the global ``random`` module (unseeded global state)
+SL002     wall-clock reads (``time.time``, ``datetime.now``, ...)
+SL003     iteration over a ``set``/``frozenset`` feeding ``schedule``
+          or ``rng`` calls (hash-order nondeterminism)
+SL004     float ``==``/``!=`` on simulation-time values
+SL005     mutable default arguments
+SL006     event callback scheduled with mismatched arity
+========  ==========================================================
+
+Rules are small classes registered in :data:`RULES`; adding a rule is
+``@register`` plus a ``check`` method, and it is immediately available
+to the CLI, the ``[tool.simlint]`` config block and the suppression
+comments — no other wiring.
+"""
+
+from __future__ import annotations
+
+import ast
+from dataclasses import dataclass
+from typing import Dict, Iterable, Iterator, List, Optional, Set, Tuple, Type
+
+
+@dataclass(frozen=True)
+class Finding:
+    """One rule violation at a source location."""
+
+    rule: str
+    path: str
+    line: int
+    col: int
+    message: str
+
+    def format(self) -> str:
+        """``path:line:col: RULE message`` (clickable in most UIs)."""
+        return f"{self.path}:{self.line}:{self.col}: {self.rule} {self.message}"
+
+
+class FileContext:
+    """Everything a rule needs to inspect one file."""
+
+    def __init__(self, path: str, source: str, tree: ast.Module):
+        self.path = path
+        self.source = source
+        self.tree = tree
+        self.lines = source.splitlines()
+
+    def finding(self, rule: "Rule", node: ast.AST, message: str) -> Finding:
+        """A :class:`Finding` anchored at ``node``."""
+        return Finding(rule=rule.id, path=self.path,
+                       line=getattr(node, "lineno", 1),
+                       col=getattr(node, "col_offset", 0) + 1,
+                       message=message)
+
+
+class Rule:
+    """Base class: subclasses set ``id``/``name`` and implement
+    :meth:`check`."""
+
+    id: str = ""
+    name: str = ""
+    description: str = ""
+
+    def check(self, ctx: FileContext) -> Iterator[Finding]:
+        raise NotImplementedError
+
+
+#: Registry of all known rules, id -> instance.
+RULES: Dict[str, Rule] = {}
+
+
+def register(cls: Type[Rule]) -> Type[Rule]:
+    """Class decorator adding a rule to :data:`RULES`."""
+    if not cls.id:
+        raise ValueError(f"rule {cls.__name__} has no id")
+    if cls.id in RULES:
+        raise ValueError(f"duplicate rule id {cls.id}")
+    RULES[cls.id] = cls()
+    return cls
+
+
+# ----------------------------------------------------------------------
+# Shared AST helpers
+# ----------------------------------------------------------------------
+def dotted_name(node: ast.AST) -> Optional[str]:
+    """``a.b.c`` for a Name/Attribute chain, else None."""
+    parts: List[str] = []
+    while isinstance(node, ast.Attribute):
+        parts.append(node.attr)
+        node = node.value
+    if isinstance(node, ast.Name):
+        parts.append(node.id)
+        return ".".join(reversed(parts))
+    return None
+
+
+def import_map(tree: ast.Module) -> Dict[str, str]:
+    """Local name -> fully dotted origin, for every import in the file.
+
+    ``import time`` -> {"time": "time"};
+    ``from datetime import datetime as dt`` -> {"dt": "datetime.datetime"}.
+    """
+    mapping: Dict[str, str] = {}
+    for node in ast.walk(tree):
+        if isinstance(node, ast.Import):
+            for alias in node.names:
+                mapping[alias.asname or alias.name.split(".")[0]] = \
+                    alias.name
+        elif isinstance(node, ast.ImportFrom) and node.module \
+                and node.level == 0:
+            for alias in node.names:
+                mapping[alias.asname or alias.name] = \
+                    f"{node.module}.{alias.name}"
+    return mapping
+
+
+def resolve_call(node: ast.Call, imports: Dict[str, str]) -> Optional[str]:
+    """The fully dotted name a call resolves to, through the file's
+    imports (``dt.now()`` -> ``datetime.datetime.now``)."""
+    name = dotted_name(node.func)
+    if name is None:
+        return None
+    head, _, rest = name.partition(".")
+    origin = imports.get(head)
+    if origin is None:
+        return name
+    return f"{origin}.{rest}" if rest else origin
+
+
+def is_set_expr(node: ast.AST, set_names: Set[str] = frozenset()) -> bool:
+    """Is ``node`` syntactically a set/frozenset value?
+
+    ``set_names`` carries local variable names known (by simple
+    forward assignment tracking) to hold sets.
+    """
+    if isinstance(node, (ast.Set, ast.SetComp)):
+        return True
+    if isinstance(node, ast.Call) and isinstance(node.func, ast.Name) \
+            and node.func.id in ("set", "frozenset"):
+        return True
+    if isinstance(node, ast.Name) and node.id in set_names:
+        return True
+    if isinstance(node, ast.BinOp) and isinstance(
+            node.op, (ast.BitOr, ast.BitAnd, ast.Sub, ast.BitXor)):
+        return is_set_expr(node.left, set_names) \
+            or is_set_expr(node.right, set_names)
+    return False
+
+
+SCHEDULE_METHODS = {"schedule", "schedule_at", "call_now"}
+RNG_METHODS = {"choice", "choices", "sample", "shuffle", "randint",
+               "randrange", "random", "uniform", "expovariate", "gauss"}
+
+
+def _uses_schedule_or_rng(node: ast.AST) -> bool:
+    """Does the subtree call ``schedule``/``schedule_at``/``call_now``
+    or anything reached through an ``rng`` attribute/name?"""
+    for sub in ast.walk(node):
+        if isinstance(sub, ast.Call):
+            name = dotted_name(sub.func)
+            if name is None:
+                continue
+            parts = name.split(".")
+            if parts[-1] in SCHEDULE_METHODS:
+                return True
+            if "rng" in parts[:-1] and parts[-1] in RNG_METHODS:
+                return True
+        elif isinstance(sub, (ast.Name, ast.Attribute)):
+            if (sub.id if isinstance(sub, ast.Name) else sub.attr) == "rng":
+                return True
+    return False
+
+
+# ----------------------------------------------------------------------
+# SL001 — global random module
+# ----------------------------------------------------------------------
+#: ``random``-module functions that draw from the *global*, unseeded
+#: generator.  ``Random``/``SystemRandom`` (classes the caller seeds or
+#: explicitly opts into OS entropy with) are exempt.
+_GLOBAL_RANDOM_FUNCS = {
+    "random", "randint", "randrange", "choice", "choices", "shuffle",
+    "sample", "uniform", "triangular", "betavariate", "expovariate",
+    "gammavariate", "gauss", "lognormvariate", "normalvariate",
+    "vonmisesvariate", "paretovariate", "weibullvariate", "seed",
+    "getrandbits", "getstate", "setstate", "randbytes",
+}
+
+
+@register
+class GlobalRandomRule(Rule):
+    """SL001: the global ``random`` module must never be used.
+
+    Every stochastic decision must flow through a seeded
+    ``random.Random`` (``Simulator.rng`` or one derived via
+    :class:`repro.sim.randomness.SeedSequence`); the global module is
+    process-wide mutable state that any import can perturb, destroying
+    trace reproducibility.
+    """
+
+    id = "SL001"
+    name = "global-random"
+    description = ("use of the global random module instead of "
+                   "Simulator.rng / SeedSequence")
+
+    def check(self, ctx: FileContext) -> Iterator[Finding]:
+        for node in ast.walk(ctx.tree):
+            if isinstance(node, ast.Import):
+                for alias in node.names:
+                    if alias.name == "random":
+                        yield ctx.finding(
+                            self, node,
+                            "import of the global `random` module; "
+                            "use `from random import Random` and seed "
+                            "an instance (Simulator.rng / SeedSequence)")
+            elif isinstance(node, ast.ImportFrom):
+                if node.module == "random" and node.level == 0:
+                    for alias in node.names:
+                        if alias.name in _GLOBAL_RANDOM_FUNCS:
+                            yield ctx.finding(
+                                self, node,
+                                f"`from random import {alias.name}` binds "
+                                f"the global generator; use a seeded "
+                                f"random.Random instance")
+
+
+# ----------------------------------------------------------------------
+# SL002 — wall-clock reads
+# ----------------------------------------------------------------------
+_WALL_CLOCK_CALLS = {
+    "time.time", "time.time_ns", "time.monotonic", "time.monotonic_ns",
+    "time.perf_counter", "time.perf_counter_ns", "time.process_time",
+    "time.process_time_ns", "time.localtime", "time.gmtime",
+    "datetime.datetime.now", "datetime.datetime.utcnow",
+    "datetime.datetime.today", "datetime.date.today",
+}
+
+
+@register
+class WallClockRule(Rule):
+    """SL002: simulation code must use ``Simulator.now``, never the
+    host's clock — wall-clock values differ run to run and leak host
+    load into results."""
+
+    id = "SL002"
+    name = "wall-clock"
+    description = ("wall-clock call (time.time, datetime.now, ...) "
+                   "inside simulation code")
+
+    def check(self, ctx: FileContext) -> Iterator[Finding]:
+        imports = import_map(ctx.tree)
+        for node in ast.walk(ctx.tree):
+            if not isinstance(node, ast.Call):
+                continue
+            resolved = resolve_call(node, imports)
+            if resolved in _WALL_CLOCK_CALLS:
+                yield ctx.finding(
+                    self, node,
+                    f"wall-clock call `{resolved}`; simulation code "
+                    f"must use Simulator.now")
+
+
+# ----------------------------------------------------------------------
+# SL003 — set iteration feeding schedule/rng
+# ----------------------------------------------------------------------
+@register
+class SetIterationRule(Rule):
+    """SL003: iterating a set in a path that schedules events or draws
+    randomness makes event order depend on hash seeds and insertion
+    history.  Sort first (``sorted(the_set)``)."""
+
+    id = "SL003"
+    name = "set-iteration"
+    description = ("iteration over a set/frozenset feeding schedule() "
+                   "or rng calls; sort it first")
+
+    def check(self, ctx: FileContext) -> Iterator[Finding]:
+        for scope in ast.walk(ctx.tree):
+            if not isinstance(scope, (ast.FunctionDef,
+                                      ast.AsyncFunctionDef, ast.Module)):
+                continue
+            yield from self._check_scope(ctx, scope)
+
+    def _check_scope(self, ctx: FileContext,
+                     scope: ast.AST) -> Iterator[Finding]:
+        # Forward pass: names assigned set-valued expressions in this
+        # scope (no flow analysis — one function is small enough that a
+        # name once bound to a set is treated as a set throughout).
+        set_names: Set[str] = set()
+        body = scope.body if hasattr(scope, "body") else []
+        for node in body:
+            for sub in ast.walk(node):
+                if isinstance(sub, ast.Assign) \
+                        and is_set_expr(sub.value, set_names):
+                    for target in sub.targets:
+                        if isinstance(target, ast.Name):
+                            set_names.add(target.id)
+                elif isinstance(sub, ast.AnnAssign) \
+                        and sub.value is not None \
+                        and is_set_expr(sub.value, set_names) \
+                        and isinstance(sub.target, ast.Name):
+                    set_names.add(sub.target.id)
+
+        for node in body:
+            for sub in ast.walk(node):
+                if isinstance(sub, (ast.FunctionDef,
+                                    ast.AsyncFunctionDef)) \
+                        and sub is not scope:
+                    continue
+                yield from self._check_node(ctx, sub, set_names)
+
+    def _check_node(self, ctx: FileContext, node: ast.AST,
+                    set_names: Set[str]) -> Iterator[Finding]:
+        if isinstance(node, ast.For) \
+                and is_set_expr(node.iter, set_names):
+            loop_uses = any(_uses_schedule_or_rng(stmt)
+                            for stmt in node.body)
+            if loop_uses:
+                yield ctx.finding(
+                    self, node.iter,
+                    "iteration over a set feeds schedule()/rng; "
+                    "iterate sorted(...) for deterministic order")
+        elif isinstance(node, (ast.ListComp, ast.GeneratorExp,
+                               ast.SetComp, ast.DictComp)):
+            for gen in node.generators:
+                if is_set_expr(gen.iter, set_names) \
+                        and _uses_schedule_or_rng(node):
+                    yield ctx.finding(
+                        self, gen.iter,
+                        "comprehension over a set feeds schedule()/rng; "
+                        "iterate sorted(...) for deterministic order")
+        elif isinstance(node, ast.Call):
+            name = dotted_name(node.func)
+            if name is None:
+                return
+            parts = name.split(".")
+            if "rng" not in parts[:-1] or parts[-1] not in RNG_METHODS:
+                return
+            for arg in node.args:
+                inner = arg
+                if isinstance(arg, ast.Call) \
+                        and isinstance(arg.func, ast.Name) \
+                        and arg.func.id in ("list", "tuple"):
+                    inner = arg.args[0] if arg.args else arg
+                if is_set_expr(inner, set_names):
+                    yield ctx.finding(
+                        self, arg,
+                        f"set passed to rng.{parts[-1]}(); convert "
+                        f"with sorted(...) for deterministic order")
+
+
+# ----------------------------------------------------------------------
+# SL004 — float equality on simulation time
+# ----------------------------------------------------------------------
+def _is_time_like(node: ast.AST) -> Optional[str]:
+    """The name of a simulation-time-ish operand, or None."""
+    if isinstance(node, ast.Attribute):
+        name = node.attr
+    elif isinstance(node, ast.Name):
+        name = node.id
+    else:
+        return None
+    if name == "now" or name == "time" or name.endswith("_time") \
+            or name.endswith("_at") or name.startswith("time_") \
+            or name in ("deadline", "timestamp"):
+        return name
+    return None
+
+
+@register
+class TimeEqualityRule(Rule):
+    """SL004: simulation times are accumulated floats — exact
+    ``==``/``!=`` comparisons flip with summation order.  Compare with
+    a tolerance, or order (``<=``/``>=``)."""
+
+    id = "SL004"
+    name = "time-float-eq"
+    description = "float ==/!= comparison on simulation-time values"
+
+    def check(self, ctx: FileContext) -> Iterator[Finding]:
+        for node in ast.walk(ctx.tree):
+            if not isinstance(node, ast.Compare):
+                continue
+            operands = [node.left] + list(node.comparators)
+            for op, left, right in zip(node.ops, operands, operands[1:]):
+                if not isinstance(op, (ast.Eq, ast.NotEq)):
+                    continue
+                name = _is_time_like(left) or _is_time_like(right)
+                if name is None:
+                    continue
+                other = right if _is_time_like(left) else left
+                # `x == None` is an identity mistake, not a float one;
+                # and equality against a literal 0 sentinel is common
+                # and exact.
+                if isinstance(other, ast.Constant) \
+                        and (other.value is None
+                             or isinstance(other.value, (int, bool))
+                             and not isinstance(other.value, float)):
+                    continue
+                yield ctx.finding(
+                    self, node,
+                    f"float equality on simulation time `{name}`; "
+                    f"use a tolerance or an ordering comparison")
+
+
+# ----------------------------------------------------------------------
+# SL005 — mutable default arguments
+# ----------------------------------------------------------------------
+@register
+class MutableDefaultRule(Rule):
+    """SL005: a mutable default is shared across calls — state leaks
+    between simulations and, worse, between seeds."""
+
+    id = "SL005"
+    name = "mutable-default"
+    description = "mutable default argument (list/dict/set)"
+
+    def check(self, ctx: FileContext) -> Iterator[Finding]:
+        for node in ast.walk(ctx.tree):
+            if not isinstance(node, (ast.FunctionDef,
+                                     ast.AsyncFunctionDef, ast.Lambda)):
+                continue
+            defaults = list(node.args.defaults) \
+                + [d for d in node.args.kw_defaults if d is not None]
+            for default in defaults:
+                if self._is_mutable(default):
+                    yield ctx.finding(
+                        self, default,
+                        "mutable default argument; use None and create "
+                        "inside the function")
+
+    @staticmethod
+    def _is_mutable(node: ast.AST) -> bool:
+        if isinstance(node, (ast.List, ast.Dict, ast.Set, ast.ListComp,
+                             ast.DictComp, ast.SetComp)):
+            return True
+        if isinstance(node, ast.Call) and isinstance(node.func, ast.Name):
+            return node.func.id in ("list", "dict", "set", "bytearray",
+                                    "defaultdict", "deque", "Counter")
+        return False
+
+
+# ----------------------------------------------------------------------
+# SL006 — scheduled-callback arity
+# ----------------------------------------------------------------------
+class _Signature:
+    """Positional-arity envelope of a function definition."""
+
+    __slots__ = ("min_args", "max_args", "name")
+
+    def __init__(self, node: ast.FunctionDef, drop_first: bool):
+        args = node.args
+        positional = list(args.posonlyargs) + list(args.args)
+        if drop_first and positional:
+            positional = positional[1:]
+        n_defaults = len(args.defaults)
+        self.min_args = len(positional) - n_defaults
+        self.max_args = None if args.vararg is not None \
+            else len(positional)
+        self.name = node.name
+
+    def accepts(self, n: int) -> bool:
+        if n < self.min_args:
+            return False
+        return self.max_args is None or n <= self.max_args
+
+
+@register
+class CallbackArityRule(Rule):
+    """SL006: ``schedule(delay, cb, *args)`` defers the arity check to
+    fire time, deep inside a run; resolve the callback's definition
+    now and verify the argument count statically."""
+
+    id = "SL006"
+    name = "callback-arity"
+    description = ("event callback scheduled with a mismatched "
+                   "argument count")
+
+    def check(self, ctx: FileContext) -> Iterator[Finding]:
+        module_funcs: Dict[str, _Signature] = {}
+        methods: Dict[Tuple[str, str], _Signature] = {}
+        classes: Dict[ast.ClassDef, str] = {}
+        for node in ctx.tree.body:
+            if isinstance(node, ast.FunctionDef):
+                module_funcs[node.name] = _Signature(node,
+                                                     drop_first=False)
+            elif isinstance(node, ast.ClassDef):
+                classes[node] = node.name
+                for item in node.body:
+                    if isinstance(item, ast.FunctionDef):
+                        is_static = any(
+                            isinstance(d, ast.Name)
+                            and d.id == "staticmethod"
+                            for d in item.decorator_list)
+                        methods[(node.name, item.name)] = _Signature(
+                            item, drop_first=not is_static)
+
+        # Walk calls with the enclosing class in scope so `self._cb`
+        # resolves against the right method table.
+        yield from self._walk(ctx, ctx.tree, None, module_funcs, methods)
+
+    def _walk(self, ctx: FileContext, node: ast.AST,
+              cls: Optional[str],
+              module_funcs: Dict[str, _Signature],
+              methods: Dict[Tuple[str, str], _Signature]
+              ) -> Iterator[Finding]:
+        for child in ast.iter_child_nodes(node):
+            child_cls = child.name if isinstance(child, ast.ClassDef) \
+                else cls
+            if isinstance(child, ast.Call):
+                yield from self._check_call(ctx, child, child_cls,
+                                            module_funcs, methods)
+            yield from self._walk(ctx, child, child_cls,
+                                  module_funcs, methods)
+
+    def _check_call(self, ctx: FileContext, node: ast.Call,
+                    cls: Optional[str],
+                    module_funcs: Dict[str, _Signature],
+                    methods: Dict[Tuple[str, str], _Signature]
+                    ) -> Iterator[Finding]:
+        if not isinstance(node.func, ast.Attribute) \
+                or node.func.attr not in SCHEDULE_METHODS:
+            return
+        # schedule/schedule_at take (delay_or_time, cb, *args);
+        # call_now takes (cb, *args).
+        cb_index = 0 if node.func.attr == "call_now" else 1
+        if len(node.args) <= cb_index:
+            return
+        if any(isinstance(a, ast.Starred) for a in node.args):
+            return
+        if node.keywords:
+            return
+        cb = node.args[cb_index]
+        given = len(node.args) - cb_index - 1
+        sig: Optional[_Signature] = None
+        if isinstance(cb, ast.Lambda):
+            sig = _Signature(
+                ast.FunctionDef(name="<lambda>", args=cb.args, body=[],
+                                decorator_list=[]),
+                drop_first=False)
+        elif isinstance(cb, ast.Name):
+            sig = module_funcs.get(cb.id)
+        elif isinstance(cb, ast.Attribute) \
+                and isinstance(cb.value, ast.Name) \
+                and cb.value.id == "self" and cls is not None:
+            sig = methods.get((cls, cb.attr))
+        if sig is None or sig.accepts(given):
+            return
+        bound = "at least " if sig.max_args is None else ""
+        expected = sig.min_args if sig.max_args in (None, sig.min_args) \
+            else f"{sig.min_args}-{sig.max_args}"
+        yield ctx.finding(
+            self, node,
+            f"callback `{sig.name}` scheduled with {given} argument(s) "
+            f"but takes {bound}{expected}")
+
+
+def all_rule_ids() -> List[str]:
+    """Sorted ids of every registered rule."""
+    return sorted(RULES)

@@ -133,17 +133,23 @@ def run_swarm(protocol: str = "tchain",
               trace_horizon_s: float = 2000.0,
               config: Optional[SwarmConfig] = None,
               setup: Optional[Callable[[Swarm], None]] = None,
+              sanitize: bool = False,
               **config_overrides) -> RunResult:
     """Run one full swarm simulation.
 
     Parameters mirror the paper's experimental knobs; see Sec. IV-A.
     ``setup`` runs after the seeder joins but before leecher arrivals
     (used by experiments that need custom instrumentation).
+    ``sanitize`` runs the whole swarm under the simulation sanitizer
+    (see :mod:`repro.devtools.sanitizer`).
     """
     if config is None:
         config = build_config(protocol, file_mb=file_mb, pieces=pieces,
                               piece_size_kb=piece_size_kb, seed=seed,
                               **config_overrides)
+    if sanitize:
+        config = config.with_overrides(
+            extra={**config.extra, "sanitize": True})
     swarm = Swarm(config)
     seeder_cls, leecher_cls = PROTOCOLS[protocol]
     seeder = seeder_cls(swarm)

@@ -29,11 +29,11 @@ def measure_encryption_rate(piece_kb: int = 128,
     """Measured cipher throughput in KB/s (encrypt + decrypt)."""
     key = bytes(range(32))
     piece = bytes(piece_kb * 1024)
-    start = time.perf_counter()
+    start = time.perf_counter()  # simlint: disable=SL002 -- deliberately measures real cipher wall-time, not simulated time
     for _ in range(repetitions):
         blob = encrypt(key, piece)
         decrypt(key, blob)
-    elapsed = time.perf_counter() - start
+    elapsed = time.perf_counter() - start  # simlint: disable=SL002 -- see above: machine-honest crypto benchmark
     return (2 * repetitions * piece_kb) / elapsed
 
 

@@ -94,6 +94,9 @@ class Uplink:
         self.opened_at = sim.now
         self.closed_at: Optional[float] = None
         self._transfers: list = []
+        # Conservation checks ride along when the simulator runs with
+        # sanitize=True; None otherwise, costing one attribute read.
+        self._sanitizer = getattr(sim, "sanitizer", None)
 
     @property
     def slot_rate_kbps(self) -> float:
@@ -120,17 +123,24 @@ class Uplink:
         transfer = Transfer(self, size_kb, self.slot_rate_kbps,
                             on_complete, meta)
         self._transfers.append(transfer)
+        if self._sanitizer is not None:
+            self._sanitizer.on_transfer_start(self, transfer)
         return transfer
 
     def _complete(self, transfer: Transfer) -> None:
         self.busy_slots -= 1
         self.kb_sent += transfer.size_kb
         self._transfers.remove(transfer)
+        if self._sanitizer is not None:
+            self._sanitizer.on_transfer_end(self, transfer,
+                                            transfer.size_kb)
 
     def _abort(self, transfer: Transfer, partial_kb: float) -> None:
         self.busy_slots -= 1
         self.kb_sent += partial_kb
         self._transfers.remove(transfer)
+        if self._sanitizer is not None:
+            self._sanitizer.on_transfer_end(self, transfer, partial_kb)
 
     def close(self) -> None:
         """The peer left the swarm: cancel in-flight transfers and

@@ -13,7 +13,7 @@ seed therefore reproduces the same event trace bit-for-bit.
 from __future__ import annotations
 
 import heapq
-import random
+from random import Random
 from typing import Any, Callable, List, Optional
 
 
@@ -74,16 +74,34 @@ class Simulator:
         stochastic decision made by the layers above (peer selection,
         arrival times, bandwidth draws, ...) must use :attr:`rng` so
         that runs are reproducible.
+    sanitize:
+        Attach a :class:`repro.devtools.sanitizer.SimulationSanitizer`
+        that checks heap-time monotonicity, bandwidth/piece
+        conservation and the fair-exchange invariant on every step,
+        raising ``SanitizerError`` on violation.  Off by default (the
+        checks cost a few percent of run time).
     """
 
-    def __init__(self, seed: int = 0):
+    def __init__(self, seed: int = 0, sanitize: bool = False):
         self.now: float = 0.0
-        self.rng = random.Random(seed)
+        self.rng = Random(seed)
         self.seed = seed
         self._heap: List[EventHandle] = []
         self._seq = 0
         self._events_fired = 0
         self._running = False
+        self._observers: List[Callable[[EventHandle], None]] = []
+        self.sanitizer = None
+        if sanitize:
+            from repro.devtools.sanitizer import SimulationSanitizer
+            self.sanitizer = SimulationSanitizer(self)
+
+    def add_observer(self,
+                     observer: Callable[[EventHandle], None]) -> None:
+        """Register a callback invoked with every event handle just
+        before it fires (trace capture, debugging, determinism
+        harnesses).  Observers must not mutate simulation state."""
+        self._observers.append(observer)
 
     # ------------------------------------------------------------------
     # Scheduling
@@ -103,6 +121,8 @@ class Simulator:
                 f"cannot schedule at {time!r}, now is {self.now!r}")
         handle = EventHandle(time, self._seq, callback, args)
         self._seq += 1
+        if self.sanitizer is not None:
+            self.sanitizer.on_schedule(handle)
         heapq.heappush(self._heap, handle)
         return handle
 
@@ -124,6 +144,10 @@ class Simulator:
             handle = heapq.heappop(self._heap)
             if handle.cancelled:
                 continue
+            if self.sanitizer is not None:
+                self.sanitizer.on_event(handle)
+            for observer in self._observers:
+                observer(handle)
             self.now = handle.time
             callback, args = handle.callback, handle.args
             handle.cancel()  # mark consumed before user code runs

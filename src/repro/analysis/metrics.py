@@ -16,8 +16,8 @@ finish under T-Chain).
 from __future__ import annotations
 
 import math
-from dataclasses import dataclass
-from typing import List, Optional
+from dataclasses import asdict, dataclass
+from typing import Dict, List, Optional
 
 
 @dataclass
@@ -67,11 +67,60 @@ class PeerRecord:
         return self.kb_downloaded * 8.0 / horizon_s
 
 
+@dataclass
+class RecoveryCounters:
+    """Graceful-degradation accounting for one swarm run.
+
+    Incremented by the fault injector (:mod:`repro.faults`) and the
+    T-Chain recovery layer (:mod:`repro.bt.protocols.tchain`); all
+    zero in a fault-free run unless recovery genuinely fired.  Because
+    every contributor draws only from seeded streams, the whole row is
+    reproducible per seed — the chaos harness asserts exactly that.
+    """
+
+    #: control messages the injector dropped / delayed
+    control_dropped: int = 0
+    control_delayed: int = 0
+    #: piece payloads the injector landed late
+    stalls: int = 0
+    #: unclean departures the injector executed
+    crashes: int = 0
+    #: payee re-sent a reception report (backoff timer found the
+    #: transaction still unreported)
+    report_retransmits: int = 0
+    #: donor re-sent a key release (requestor still held the sealed piece)
+    key_retransmits: int = 0
+    #: requestor key-release timeouts that found a wedged exchange
+    key_timeouts: int = 0
+    #: pleads sent donor-ward after a key timeout
+    pleads: int = 0
+    #: transactions rolled back to DELIVERED on a plead
+    reopens: int = 0
+    #: reciprocation duties waived during recovery
+    forgives: int = 0
+    #: exchanges written off with no reachable key holder
+    orphaned_chains: int = 0
+
+    def as_dict(self) -> Dict[str, int]:
+        """Plain-dict view (persistence, test comparisons)."""
+        return asdict(self)
+
+    @property
+    def any_recovery(self) -> bool:
+        """Did any recovery path (not mere injection) fire?"""
+        return any((self.report_retransmits, self.key_retransmits,
+                    self.key_timeouts, self.pleads, self.reopens,
+                    self.forgives, self.orphaned_chains))
+
+
 class SwarmMetrics:
     """Collects :class:`PeerRecord` rows for a swarm run."""
 
     def __init__(self):
         self.records: List[PeerRecord] = []
+        #: fault-injection / recovery accounting (see
+        #: :class:`RecoveryCounters`)
+        self.recovery = RecoveryCounters()
 
     def record_peer(self, peer, now: float) -> None:
         """Snapshot a peer at departure (or at simulation end)."""

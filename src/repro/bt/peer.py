@@ -62,6 +62,9 @@ class Peer:
         self.book = book if book is not None else PieceBook(swarm.torrent)
         self.uplink = Uplink(self.sim, capacity_kbps, n_slots)
         self.active = False
+        #: True after an *unclean* departure (:meth:`crash`): the host
+        #: is dead and processes no further control messages.
+        self.crashed = False
         self.join_time: Optional[float] = None
         self.finish_time: Optional[float] = None
         self.leave_time: Optional[float] = None
@@ -142,6 +145,35 @@ class Peer:
                 uploader._cancel_outgoing(transfer)
         self._incoming.clear()
         self.uplink.close()  # cancels our outgoing transfers
+        for transfer in list(self._outgoing):
+            self._drop_outgoing(transfer)
+        self.swarm.tracker.leave(self.id)
+        self.swarm.deregister(self)
+
+    def crash(self) -> None:
+        """Unclean departure: vanish mid-whatever, no protocol goodbye.
+
+        Unlike :meth:`leave`, the :meth:`on_leave` hook does NOT run —
+        no key handover, no payee reassignment, no obligation cleanup
+        (Sec. II-B4 describes what a *clean* leaver does; a crash is
+        exactly the absence of that).  Transfers sever the way a TCP
+        reset would, and the swarm records the peer as departed.  The
+        recovery layer of the survivors must cope with everything the
+        crash stranded.
+        """
+        if not self.active:
+            return
+        self.active = False
+        self.crashed = True
+        self.leave_time = self.sim.now
+        if self._rescan_task is not None:
+            self._rescan_task.stop()
+        for transfer in list(self._incoming):
+            uploader = self.swarm.find_peer(transfer.meta.uploader_id)
+            if uploader is not None:
+                uploader._cancel_outgoing(transfer)
+        self._incoming.clear()
+        self.uplink.close()
         for transfer in list(self._outgoing):
             self._drop_outgoing(transfer)
         self.swarm.tracker.leave(self.id)
@@ -234,10 +266,24 @@ class Peer:
             receiver._incoming.pop(transfer, None)
             receiver.kb_downloaded += transfer.size_kb
             receiver.pieces_downloaded += 1
-            receiver.on_payload(plan.payload if plan.payload is not None
-                                else plan.piece, self.id)
+            payload = plan.payload if plan.payload is not None \
+                else plan.piece
+            injector = self.swarm.fault_injector
+            stall = injector.stall_delay() if injector is not None \
+                else 0.0
+            if stall > 0.0:
+                self.sim.schedule(stall, self._deliver_payload,
+                                  receiver, payload)
+            else:
+                receiver.on_payload(payload, self.id)
         self.on_upload_finished(plan)
         self.pump()
+
+    def _deliver_payload(self, receiver: "Peer", payload: Any) -> None:
+        """A stalled payload lands late (fault injection; the transfer
+        itself finished and was already accounted)."""
+        if receiver.active:
+            receiver.on_payload(payload, self.id)
 
     def _cancel_outgoing(self, transfer: Transfer) -> None:
         """The receiver vanished mid-transfer."""

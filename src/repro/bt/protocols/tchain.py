@@ -20,8 +20,22 @@ swarm simulator.  The moving parts, mapped to the paper:
 * **Departure handling** — key handovers and payee reassignment
   (Sec. II-B4).
 
-Control messages (reception reports, key releases) travel with
-``config.control_latency_s`` delay and zero bandwidth (Sec. III-C).
+Control messages (reception reports, key releases, pleads) travel with
+``config.control_latency_s`` delay and zero bandwidth (Sec. III-C),
+and cross :meth:`repro.bt.swarm.Swarm.send_control` — the choke point
+where fault injection (:mod:`repro.faults`) may drop or delay them.
+
+**Recovery layer** (docs/FAULTS.md): every control message that can be
+lost has a timer watching it.  Payees retransmit unacknowledged
+reception reports and donors retransmit undelivered key releases, both
+with capped exponential backoff; a requestor whose key never arrives
+*pleads* to the donor (:class:`repro.core.messages.PleadMessage`),
+which reopens the transaction and reassigns the payee
+(``ExchangeLedger.reopen`` + ``reassign_payee``) or re-releases a key
+whose delivery was lost; exchanges whose donor crashed uncleanly with
+no key handover are written off as orphans (the requestor drops the
+sealed piece and re-fetches).  All of it is accounted in
+:class:`repro.analysis.metrics.RecoveryCounters`.
 """
 
 from __future__ import annotations
@@ -35,7 +49,11 @@ from repro.core.bootstrap import select_bootstrap_piece
 from repro.core.chain import Chain, ChainRegistry
 from repro.core.exchange import ExchangeLedger
 from repro.core.flow_control import FlowController
-from repro.core.messages import EncryptedPieceMessage, PlainPieceMessage
+from repro.core.messages import (
+    EncryptedPieceMessage,
+    PlainPieceMessage,
+    PleadMessage,
+)
 from repro.core.policy import (
     PayeeDecision,
     ReciprocityKind,
@@ -66,6 +84,17 @@ OBLIGATION_RETRY_S = 2.0
 #: would wedge the piece forever.
 DEFAULT_KEY_TIMEOUT_S = 60.0
 
+#: Retransmission backoff for unacknowledged control messages
+#: (reception reports, key releases): ``base * 2**(attempt-1)``
+#: seconds between attempts, capped at CONTROL_RETRY_CAP_S, for at
+#: most ``control_retry_attempts`` retransmissions after the initial
+#: send.  Retry timers are scheduled *unconditionally* and no-op
+#: against shared ledger state, so a fault-free run fires exactly the
+#: same timers as a faulty one — the determinism contract survives.
+CONTROL_RETRY_BASE_S = 2.0
+CONTROL_RETRY_CAP_S = 16.0
+CONTROL_RETRY_ATTEMPTS = 2
+
 
 class TChainState:
     """Shared per-swarm T-Chain state (ledger, chain registry, timers)."""
@@ -85,6 +114,10 @@ class TChainState:
             "chain_stall_timeout_s", DEFAULT_STALL_TIMEOUT_S)
         self.key_timeout_s = config.extra.get(
             "key_timeout_s", DEFAULT_KEY_TIMEOUT_S)
+        self.retry_base_s = config.extra.get(
+            "control_retry_base_s", CONTROL_RETRY_BASE_S)
+        self.retry_attempts = config.extra.get(
+            "control_retry_attempts", CONTROL_RETRY_ATTEMPTS)
         self._sampler = PeriodicTask(
             swarm.sim, config.chain_sample_interval_s,
             lambda: self.registry.sample(swarm.sim.now),
@@ -102,6 +135,11 @@ class TChainState:
     def are_colluders(self, a: str, b: str) -> bool:
         """Are both peers in the colluder set?"""
         return a in self.colluders and b in self.colluders
+
+    def retry_delay(self, attempt: int) -> float:
+        """Backoff before retransmission ``attempt`` (1-based)."""
+        return min(self.retry_base_s * (2.0 ** (attempt - 1)),
+                   CONTROL_RETRY_CAP_S)
 
 
 class _TChainNode(Peer):
@@ -400,13 +438,94 @@ class _TChainNode(Peer):
         key = ledger.release_key(transaction_id, self.sim.now)
         requestor = self.swarm.find_peer(tx.requestor_id)
         if requestor is not None and requestor.active:
-            self.sim.schedule(self.swarm.config.control_latency_s,
-                              requestor.receive_key, transaction_id, key)
+            self.swarm.send_control(self.id, requestor,
+                                    requestor.receive_key,
+                                    transaction_id, key, kind="key")
+            self._arm_key_retry(transaction_id, 1)
         if self.active:
             self.pump()
 
     def receive_key(self, transaction_id: int, key) -> None:
         """Leechers override; seeders never await keys."""
+
+    # ------------------------------------------------------------------
+    # Recovery: key retransmission and the plead path (docs/FAULTS.md)
+    # ------------------------------------------------------------------
+    def _arm_key_retry(self, transaction_id: int, attempt: int) -> None:
+        if attempt > self.state.retry_attempts:
+            return
+        self.sim.schedule(self.state.retry_delay(attempt),
+                          self._key_retry, transaction_id, attempt)
+
+    def _key_retry(self, transaction_id: int, attempt: int) -> None:
+        """Re-release a key the requestor demonstrably never got (its
+        sealed piece is still pending).  Decided purely from shared
+        ledger/peer state, so fault-free runs schedule — and skip —
+        exactly the same timers."""
+        if self.crashed:
+            return
+        ledger = self.state.ledger
+        tx = ledger.get(transaction_id)
+        if tx.state is not TransactionState.COMPLETED \
+                or not tx.encrypted:
+            return
+        requestor = self.swarm.find_peer(tx.requestor_id)
+        if requestor is None or not requestor.active:
+            return
+        if transaction_id not in getattr(requestor,
+                                         "pending_sealed", {}):
+            return  # the key landed; nothing to do
+        self.swarm.metrics.recovery.key_retransmits += 1
+        self.swarm.send_control(self.id, requestor,
+                                requestor.receive_key, transaction_id,
+                                ledger.peek_key(transaction_id),
+                                kind="key")
+        self._arm_key_retry(transaction_id, attempt + 1)
+
+    def on_plead(self, msg: PleadMessage) -> None:
+        """A requestor pleads: it reciprocated and no key ever came
+        (Sec. II-B4).  Decide from the ledger, the shared ground
+        truth:
+
+        * COMPLETED — our key release was lost in transit: resend it.
+        * RECIPROCATED — the reception report was swallowed (silent or
+          crashed payee): roll the transaction back to DELIVERED,
+          reassign the payee excluding the silent one, and tell the
+          requestor to reciprocate afresh.
+        * anything else — stale plead (a retransmitted report or an
+          earlier reopen already settled the matter): ignore.
+        """
+        ledger = self.state.ledger
+        tx = ledger.get(msg.transaction_id)
+        if tx.requestor_id != msg.requestor_id:
+            return  # forged or misrouted plead
+        requestor = self.swarm.find_peer(tx.requestor_id)
+        if requestor is None or not requestor.active:
+            return
+        if tx.state is TransactionState.COMPLETED:
+            if tx.encrypted and msg.transaction_id in getattr(
+                    requestor, "pending_sealed", {}):
+                self.swarm.metrics.recovery.key_retransmits += 1
+                self.swarm.send_control(
+                    self.id, requestor, requestor.receive_key,
+                    msg.transaction_id,
+                    ledger.peek_key(msg.transaction_id), kind="key")
+            return
+        if tx.state is not TransactionState.RECIPROCATED:
+            return
+        old_payee = tx.payee_id
+        ledger.reopen(msg.transaction_id, self.sim.now)
+        self.swarm.metrics.recovery.reopens += 1
+        offerings = set(requestor.book.completed)
+        offerings.add(tx.piece_index)
+        exclude = (frozenset({old_payee}) if old_payee is not None
+                   else frozenset())
+        new_payee = self.reassign_or_forgive(tx, offerings,
+                                             exclude=exclude)
+        if new_payee is not None:
+            self.swarm.send_control(self.id, requestor,
+                                    requestor.on_reopened,
+                                    msg.transaction_id, kind="reopen")
 
     # ------------------------------------------------------------------
     # Reassignment / forgiveness (Sec. II-B4)
@@ -445,13 +564,16 @@ class _TChainNode(Peer):
                          if candidates else None)
         if new_payee is None:
             key = ledger.forgive(tx.transaction_id, self.sim.now)
+            self.swarm.metrics.recovery.forgives += 1
             if self.active:
                 self.flow.on_reciprocation_confirmed(tx.requestor_id)
             requestor = self.swarm.find_peer(tx.requestor_id)
             if requestor is not None and requestor.active:
-                self.sim.schedule(self.swarm.config.control_latency_s,
-                                  requestor.receive_key,
-                                  tx.transaction_id, key)
+                self.swarm.send_control(self.id, requestor,
+                                        requestor.receive_key,
+                                        tx.transaction_id, key,
+                                        kind="key")
+                self._arm_key_retry(tx.transaction_id, 1)
             ledger.terminate_chain(tx.chain_id, self.sim.now)
             return None
         ledger.reassign_payee(tx.transaction_id, new_payee)
@@ -530,10 +652,7 @@ class _TChainNode(Peer):
         return self.sim.rng.choice(candidates)
 
     def _abort_on_departure(self, tx: Transaction) -> None:
-        ledger = self.state.ledger
-        ledger.abort(tx.transaction_id, self.sim.now)
-        ledger.terminate_chain(tx.chain_id, self.sim.now)
-        _drop_sealed_at_requestor(self.state, tx)
+        _orphan_exchange(self.state, tx)
 
 
 def _check_stall(state: TChainState, transaction_id: int) -> None:
@@ -633,6 +752,8 @@ class TChainLeecher(BaselineLeecher, _TChainNode):
         self._retry_pending = False
         #: tx id -> sealed piece held until the key arrives
         self.pending_sealed: Dict[int, object] = {}
+        #: tx id -> plead count (each key timeout re-pleads)
+        self._plead_attempts: Dict[int, int] = {}
         #: (time, piece, "encrypted"|"decrypted") for Fig. 5
         self.piece_log: List[Tuple[float, int, str]] = []
 
@@ -717,7 +838,7 @@ class TChainLeecher(BaselineLeecher, _TChainNode):
                 # payee reassigns (or forgives) on the donor's behalf.
                 holder = payee
             else:
-                _forgive_orphan(self.state, tx)
+                _orphan_exchange(self.state, tx)
                 return None
             new_payee = holder.reassign_or_forgive(tx, offerings,
                                                    exclude=banned)
@@ -733,7 +854,7 @@ class TChainLeecher(BaselineLeecher, _TChainNode):
             if donor is not None and donor.active:
                 donor.reassign_or_forgive(tx, set())
             else:
-                _forgive_orphan(self.state, tx)
+                _orphan_exchange(self.state, tx)
             return None
         if self.uploading_to(payee.id):
             return None  # busy with this receiver; retry on next pump
@@ -824,16 +945,38 @@ class TChainLeecher(BaselineLeecher, _TChainNode):
         self.complete_piece(msg.piece_index)
 
     def _report_as_payee(self, prev: Transaction) -> None:
-        """We are the payee of ``prev``: report the reciprocation."""
-        donor = self.swarm.find_peer(prev.donor_id)
-        latency = self.swarm.config.control_latency_s
+        """We are the payee of ``prev``: report the reciprocation,
+        retransmitting with backoff until the donor's ledger shows it
+        landed."""
+        self._send_report(prev.transaction_id, 1)
+
+    def _send_report(self, transaction_id: int, attempt: int) -> None:
+        ledger = self.state.ledger
+        tx = ledger.get(transaction_id)
+        if attempt > 1:
+            # Retransmission timer.  The ledger is shared state:
+            # REPORTED / COMPLETED mean the report landed, and a
+            # reopen (DELIVERED) or abort means our duty is void.
+            if not self.active \
+                    or tx.state is not TransactionState.RECIPROCATED:
+                return
+            self.swarm.metrics.recovery.report_retransmits += 1
+        donor = self.swarm.find_peer(tx.donor_id)
         if donor is not None:
-            self.sim.schedule(latency, donor.on_report,
-                              prev.transaction_id, True)
-        elif prev.transaction_id in self.state.handover:
-            # The donor left and handed us the key (Sec. II-B4).
-            self.sim.schedule(latency, self._release_as_holder,
-                              prev.transaction_id)
+            self.swarm.send_control(self.id, donor, donor.on_report,
+                                    transaction_id, True, kind="report")
+        elif transaction_id in self.state.handover:
+            # The donor left and handed us the key (Sec. II-B4): the
+            # release is a local act, nothing to retransmit.
+            self.sim.schedule(self.swarm.config.control_latency_s,
+                              self._release_as_holder, transaction_id)
+            return
+        else:
+            return  # donor gone, no handover: the plead path cleans up
+        if attempt <= self.state.retry_attempts:
+            self.sim.schedule(self.state.retry_delay(attempt),
+                              self._send_report, transaction_id,
+                              attempt + 1)
 
     def _release_as_holder(self, transaction_id: int) -> None:
         ledger = self.state.ledger
@@ -844,35 +987,77 @@ class TChainLeecher(BaselineLeecher, _TChainNode):
         key = ledger.release_key(transaction_id, self.sim.now)
         requestor = self.swarm.find_peer(tx.requestor_id)
         if requestor is not None and requestor.active:
-            self.sim.schedule(self.swarm.config.control_latency_s,
-                              requestor.receive_key, transaction_id, key)
+            self.swarm.send_control(self.id, requestor,
+                                    requestor.receive_key,
+                                    transaction_id, key, kind="key")
+            self._arm_key_retry(transaction_id, 1)
+
+    def _rearm_key_timeout(self, transaction_id: int) -> None:
+        self.sim.schedule(self.state.key_timeout_s,
+                          self._check_key_timeout, transaction_id)
 
     def _check_key_timeout(self, transaction_id: int) -> None:
-        """We reciprocated long ago and no key came: the reception
-        report was swallowed (silent or vanished payee).  Plead the
-        case to the donor — the transaction reopens and we reciprocate
-        again toward a reassigned payee (Sec. II-B4)."""
+        """We hold a sealed piece long past reciprocating and no key
+        came: the reception report or the key release was swallowed
+        (lossy control plane, silent or crashed payee).  Plead the
+        case to the donor (Sec. II-B4); with the donor gone and
+        nobody holding its key duty, write the exchange off."""
         if not self.active:
             return
-        sealed = self.pending_sealed.get(transaction_id)
-        if sealed is None:
+        if transaction_id not in self.pending_sealed:
             return
+        recovery = self.swarm.metrics.recovery
         tx = self.state.ledger.get(transaction_id)
         if tx.state is TransactionState.DELIVERED:
             if transaction_id not in self.obligations:
-                # Not our backlog: a reopen raced with nothing —
+                # Not our backlog: a reopen's notification was lost —
                 # requeue so the obligation is actually retried.
                 self.obligations.append(transaction_id)
-            self.sim.schedule(self.state.key_timeout_s,
-                              self._check_key_timeout, transaction_id)
+                self.pump()
+            self._rearm_key_timeout(transaction_id)
             return
-        if tx.state is TransactionState.RECIPROCATED:
-            self.state.ledger.reopen(transaction_id, self.sim.now)
-            if transaction_id not in self.obligations:
-                self.obligations.append(transaction_id)
-            self.sim.schedule(self.state.key_timeout_s,
-                              self._check_key_timeout, transaction_id)
-            self.pump()
+        if tx.state not in (TransactionState.RECIPROCATED,
+                            TransactionState.COMPLETED):
+            return
+        recovery.key_timeouts += 1
+        donor = self.swarm.find_peer(tx.donor_id)
+        if donor is not None and donor.active:
+            recovery.pleads += 1
+            attempt = self._plead_attempts.get(transaction_id, 0) + 1
+            self._plead_attempts[transaction_id] = attempt
+            self.swarm.send_control(
+                self.id, donor, donor.on_plead,
+                PleadMessage(self.id, transaction_id, attempt),
+                kind="plead")
+            self._rearm_key_timeout(transaction_id)
+            return
+        if tx.state is TransactionState.RECIPROCATED \
+                and transaction_id in self.state.handover:
+            payee = self.swarm.find_peer(tx.payee_id) \
+                if tx.payee_id else None
+            if payee is not None and payee.active:
+                # The departed donor handed its key duty to the
+                # payee; that release is a local act which cannot be
+                # lost — wait it out.
+                self._rearm_key_timeout(transaction_id)
+                return
+        # Donor unreachable (crashed or departed) and nobody holds
+        # its key duty: the exchange is orphaned.  No key is gifted —
+        # drop the sealed piece and re-fetch the piece elsewhere.
+        _orphan_exchange(self.state, tx)
+
+    def on_reopened(self, transaction_id: int) -> None:
+        """The donor honored our plead: the transaction is DELIVERED
+        again with a fresh payee — reciprocate anew."""
+        if not self.active:
+            return
+        if transaction_id not in self.pending_sealed:
+            return
+        tx = self.state.ledger.get(transaction_id)
+        if tx.state is TransactionState.DELIVERED \
+                and transaction_id not in self.obligations:
+            self.obligations.append(transaction_id)
+        self.pump()
 
     def receive_key(self, transaction_id: int, key) -> None:
         if not self.active:
@@ -905,17 +1090,19 @@ class TChainLeecher(BaselineLeecher, _TChainNode):
             return
         latency = self.swarm.config.control_latency_s
         # The colluding payee vouches for a reciprocation that never
-        # happened; the donor cannot tell and releases the key.
-        self.sim.schedule(2 * latency, donor.on_report,
-                          msg.transaction_id, False)
+        # happened; the donor cannot tell and releases the key.  The
+        # false report is an ordinary control message — a faulty
+        # control plane drops colluders' traffic like anyone else's.
+        self.swarm.send_control(msg.payee_id, donor, donor.on_report,
+                                msg.transaction_id, False,
+                                kind="report", latency=2 * latency)
 
     # ------------------------------------------------------------------
-    # Departure
+    # Departure / identity change
     # ------------------------------------------------------------------
-    def on_leave(self) -> None:
+    def _forfeit_requestor_exchanges(self) -> None:
+        """Abort every unfulfilled reciprocation duty we hold."""
         ledger = self.state.ledger
-        # Unfulfilled obligations die with us: both the queued ones and
-        # any whose reciprocation upload is being cancelled mid-flight.
         for tx in ledger.open_transactions_involving(self.id):
             if tx.requestor_id == self.id \
                     and tx.state is TransactionState.DELIVERED:
@@ -923,23 +1110,50 @@ class TChainLeecher(BaselineLeecher, _TChainNode):
                 ledger.terminate_chain(tx.chain_id, self.sim.now)
         self.obligations.clear()
         self.pending_sealed.clear()
+        self._plead_attempts.clear()
+
+    def on_leave(self) -> None:
+        # Unfulfilled obligations die with us: both the queued ones and
+        # any whose reciprocation upload is being cancelled mid-flight.
+        self._forfeit_requestor_exchanges()
         super().on_leave()
+
+    def on_whitewash(self) -> None:
+        """Whitewashing forfeits every in-flight exchange.
+
+        The open transactions name the *abandoned* identity, so a
+        report, plead or key addressed to or from the new identity is
+        indistinguishable from a forgery and gets ignored — which is
+        exactly why encrypted pieces defeat whitewashing
+        (Sec. III-A3).  Unlike a departure the peer stays, so each
+        dropped sealed piece is un-expected first: the piece stays
+        wanted and can be re-fetched under the new identity.
+        """
+        for sealed in self.pending_sealed.values():
+            self.book.unexpect(sealed.piece_index)
+        self._forfeit_requestor_exchanges()
+        super().on_whitewash()
 
     def on_neighbor_disconnected(self, neighbor_id: str) -> None:
         self.flow.forget(neighbor_id)
         super().on_neighbor_disconnected(neighbor_id)
 
 
-def _forgive_orphan(state: TChainState, tx: Transaction) -> None:
-    """Last-resort cleanup: donor and payee are both unreachable.
+def _orphan_exchange(state: TChainState, tx: Transaction) -> None:
+    """Last-resort cleanup: the donor (and any key-duty holder) is
+    unreachable.
 
-    The requestor cannot reciprocate and nobody holds the key duty:
-    the exchange is dead.  The transaction aborts (no key is gifted)
-    and the requestor drops the sealed piece so it can re-fetch the
-    piece from someone reachable.
+    The exchange is dead.  An open transaction aborts, taking its
+    chain; either way no key is gifted — the requestor drops the
+    sealed piece so it can re-fetch the piece from someone reachable.
+    The loss is bounded by design (Sec. II-C): one upload, never the
+    whole download.
     """
-    state.ledger.abort(tx.transaction_id, state.swarm.sim.now)
-    state.ledger.terminate_chain(tx.chain_id, state.swarm.sim.now)
+    if tx.state not in (TransactionState.COMPLETED,
+                        TransactionState.ABORTED):
+        state.ledger.abort(tx.transaction_id, state.swarm.sim.now)
+        state.ledger.terminate_chain(tx.chain_id, state.swarm.sim.now)
+    state.swarm.metrics.recovery.orphaned_chains += 1
     _drop_sealed_at_requestor(state, tx)
 
 

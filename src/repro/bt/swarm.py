@@ -12,7 +12,7 @@ of Fig. 7(b)) do not keep the simulation alive forever.
 
 from __future__ import annotations
 
-from typing import Callable, Dict, List, Optional
+from typing import Any, Callable, Dict, List, Optional, Tuple
 
 from repro.analysis.metrics import SwarmMetrics
 from repro.bt.config import SwarmConfig
@@ -43,6 +43,14 @@ class Swarm:
         self.on_finished: Optional[Callable[[Peer], None]] = None
         self.last_activity = 0.0
         self._next_auto_id = 0
+        # Per-instance: a class-level counter would alias arrival
+        # bookkeeping across swarms sharing one process (sweeps,
+        # side-by-side protocol comparisons).
+        self._pending_arrivals = 0
+        #: optional :class:`repro.faults.injector.FaultInjector`;
+        #: installed via ``FaultInjector.attach``, never constructed
+        #: here (the swarm stays importable without the faults package)
+        self.fault_injector = None
 
     # ------------------------------------------------------------------
     # Peer management
@@ -132,6 +140,41 @@ class Swarm:
             self.connect(new_id, member)
         return new_id
 
+    # ------------------------------------------------------------------
+    # Control plane
+    # ------------------------------------------------------------------
+    def send_control(self, sender_id: str, receiver: Peer,
+                     callback: Callable[..., Any], *args: Any,
+                     kind: str = "control",
+                     latency: Optional[float] = None):
+        """Deliver a control message (report, key release, plead, ...).
+
+        The single choke point every control message crosses: the
+        fault injector (when attached) decides drop / extra delay
+        here, and delivery is suppressed for receivers that *crashed*
+        (a dead host processes nothing — unlike a clean departure,
+        after which e.g. ``on_report`` deliberately still works,
+        Sec. II-B4).  Returns the event handle, or ``None`` when the
+        message was dropped.
+        """
+        delay = latency if latency is not None \
+            else self.config.control_latency_s
+        if self.fault_injector is not None:
+            fate = self.fault_injector.control_fate(
+                kind, sender_id, receiver.id)
+            if fate is None:
+                return None
+            delay += fate
+        return self.sim.schedule(delay, self._deliver_control,
+                                 receiver, callback, args)
+
+    def _deliver_control(self, receiver: Peer,
+                         callback: Callable[..., Any],
+                         args: Tuple[Any, ...]) -> None:
+        if receiver.crashed:
+            return
+        callback(*args)
+
     def on_peer_finished(self, peer: Peer) -> None:
         """A leecher completed its download."""
         self.finished_leechers += 1
@@ -177,8 +220,6 @@ class Swarm:
     def _arrivals_pending(self) -> bool:
         """Workloads flag future arrivals so we do not stop early."""
         return self._pending_arrivals > 0
-
-    _pending_arrivals = 0
 
     def note_arrival_scheduled(self) -> None:
         """A workload scheduled a future join."""

@@ -16,7 +16,12 @@ Commands
     probability, overheads).
 ``lint``
     Run the ``simlint`` determinism/protocol static analyzer over
-    source paths (rules SL001-SL006; see docs/DEVTOOLS.md).
+    source paths (rules SL001-SL007; see docs/DEVTOOLS.md).
+``chaos``
+    Chaos smoke test: a sanitized T-Chain swarm under seeded fault
+    injection (control-message loss/delay, upload stalls, peer
+    crashes); exits nonzero unless every surviving honest leecher
+    finished (docs/FAULTS.md).
 
 Examples
 --------
@@ -28,6 +33,7 @@ Examples
     python -m repro figure fig7 --scale 0.5 --seeds 1
     python -m repro models
     python -m repro lint src/ --disable SL004
+    python -m repro chaos --seed 0 --loss 0.1 --crashes 2
 """
 
 from __future__ import annotations
@@ -94,6 +100,25 @@ def build_parser() -> argparse.ArgumentParser:
                         help="ignore [tool.simlint] in pyproject.toml")
     lint_p.add_argument("--list-rules", action="store_true",
                         help="print the rule catalogue and exit")
+
+    chaos_p = sub.add_parser(
+        "chaos", help="sanitized swarm run under seeded fault injection")
+    chaos_p.add_argument("--leechers", type=int, default=16)
+    chaos_p.add_argument("--pieces", type=int, default=10)
+    chaos_p.add_argument("--seed", type=int, default=0)
+    chaos_p.add_argument("--loss", type=float, default=0.10,
+                         help="control-message loss probability")
+    chaos_p.add_argument("--delay", type=float, default=0.10,
+                         help="control-message delay probability")
+    chaos_p.add_argument("--delay-s", type=float, default=1.0,
+                         help="extra latency per delayed message (s)")
+    chaos_p.add_argument("--stall", type=float, default=0.02,
+                         help="upload stall probability")
+    chaos_p.add_argument("--stall-s", type=float, default=5.0,
+                         help="stall duration (s)")
+    chaos_p.add_argument("--crashes", type=int, default=2,
+                         help="seeded unclean peer crashes")
+    chaos_p.add_argument("--max-time", type=float, default=None)
     return parser
 
 
@@ -291,12 +316,33 @@ def cmd_lint(args) -> int:
     return 1 if findings else 0
 
 
+def cmd_chaos(args) -> int:
+    from repro.faults import run_chaos
+    chaos = run_chaos(
+        leechers=args.leechers, pieces=args.pieces, seed=args.seed,
+        control_loss_prob=args.loss, control_delay_prob=args.delay,
+        control_delay_s=args.delay_s, upload_stall_prob=args.stall,
+        upload_stall_s=args.stall_s, crashes=args.crashes,
+        max_time=args.max_time)
+    print(format_table(["quantity", "value"], chaos.summary_rows(),
+                       title="chaos smoke run"))
+    verdict = "PASS" if chaos.passed else "FAIL"
+    print(f"\n{verdict}: "
+          f"{chaos.survivors_finished}/{len(chaos.survivor_records)} "
+          f"surviving honest leechers finished under "
+          f"loss={args.loss:g} delay={args.delay:g} "
+          f"crashes={len(chaos.injector.crashed_ids)}; "
+          f"{chaos.sanitizer_checks} sanitizer checks, 0 violations")
+    return 0 if chaos.passed else 1
+
+
 COMMANDS = {
     "run": cmd_run,
     "compare": cmd_compare,
     "figure": cmd_figure,
     "models": cmd_models,
     "lint": cmd_lint,
+    "chaos": cmd_chaos,
 }
 
 

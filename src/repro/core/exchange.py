@@ -264,6 +264,12 @@ class ExchangeLedger:
                 f"can only reopen a reciprocated transaction, not "
                 f"{tx.state.value}")
         tx.advance(TransactionState.DELIVERED)
+        if self.sanitizer is not None:
+            # Shadow-state rollback: the observed reciprocation no
+            # longer counts, so a later truthful report must follow a
+            # *new* reciprocal upload — and the fresh one must not
+            # read as a false violation.
+            self.sanitizer.on_reopen(tx)
 
     def forgive(self, transaction_id: int, now: float) -> Key:
         """Release a requestor from its reciprocation duty.
@@ -296,6 +302,8 @@ class ExchangeLedger:
             tx.advance(TransactionState.ABORTED)
             self.aborted_transactions += 1
             self._close_index(tx)
+            if self.sanitizer is not None:
+                self.sanitizer.on_abort(tx)
 
     def reassign_payee(self, transaction_id: int, new_payee: str) -> None:
         """Sec. II-B4: the payee left (or needs nothing) before the

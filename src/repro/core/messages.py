@@ -1,6 +1,6 @@
 """Protocol messages of the T-Chain exchange (Fig. 1 of the paper).
 
-Four message types cross the wire:
+Five message types cross the wire:
 
 * :class:`EncryptedPieceMessage` — step 2 of each transaction: the donor
   uploads ``K[p]`` to the requestor together with the payee designation
@@ -11,6 +11,11 @@ Four message types cross the wire:
 * :class:`KeyReleaseMessage` — the donor releases the decryption key.
 * :class:`PlainPieceMessage` — chain termination: an unencrypted piece
   that carries no reciprocation obligation.
+* :class:`PleadMessage` — recovery (Sec. II-B4): a requestor that
+  reciprocated but never received its key pleads its case back to the
+  donor (the reception report was lost or the payee stayed silent);
+  the donor reopens the transaction and reassigns the payee, or
+  re-releases a key whose delivery was lost.
 
 These are plain dataclasses; the simulation layers decide how long they
 take to deliver (pieces occupy uplink slots, control messages are
@@ -76,6 +81,23 @@ class KeyReleaseMessage:
 
     transaction_id: int
     key: Key
+
+
+@dataclass(frozen=True)
+class PleadMessage:
+    """Requestor → donor: "I reciprocated and no key ever came".
+
+    Sent after a key-release timeout.  ``attempt`` counts pleads for
+    this transaction (each timeout re-pleads — the plead itself may be
+    lost on a faulty control plane).  The donor decides from its
+    ledger view: a COMPLETED transaction means the key release was
+    lost (resend the key); a RECIPROCATED one means the reception
+    report was swallowed (reopen + reassign the payee).
+    """
+
+    requestor_id: str
+    transaction_id: int
+    attempt: int = 1
 
 
 @dataclass(frozen=True)

@@ -3,7 +3,7 @@
 Two complementary halves:
 
 * :mod:`repro.devtools.rules` / :mod:`repro.devtools.analyzer` — the
-  ``simlint`` static analyzer (``repro lint``): AST rules SL001-SL006
+  ``simlint`` static analyzer (``repro lint``): AST rules SL001-SL007
   catching nondeterminism and protocol hazards at review time.
 * :mod:`repro.devtools.sanitizer` — the runtime simulation sanitizer
   (``Simulator(sanitize=True)``): shadow-state invariant checks on

@@ -13,6 +13,8 @@ SL003     iteration over a ``set``/``frozenset`` feeding ``schedule``
 SL004     float ``==``/``!=`` on simulation-time values
 SL005     mutable default arguments
 SL006     event callback scheduled with mismatched arity
+SL007     direct ``rng`` use inside a ``faults/`` package (fault
+          injection must draw from its own named substream)
 ========  ==========================================================
 
 Rules are small classes registered in :data:`RULES`; adding a rule is
@@ -559,6 +561,52 @@ class CallbackArityRule(Rule):
             self, node,
             f"callback `{sig.name}` scheduled with {given} argument(s) "
             f"but takes {bound}{expected}")
+
+
+# ----------------------------------------------------------------------
+# SL007 — direct rng use inside fault-injection code
+# ----------------------------------------------------------------------
+@register
+class FaultsRngRule(Rule):
+    """SL007: fault-injection code must never touch the simulation's
+    main ``rng``.
+
+    The determinism contract of :mod:`repro.faults` is that attaching
+    an idle :class:`~repro.faults.plan.FaultPlan` leaves traces
+    bit-identical — which holds only if the injector draws from its
+    own named substream (``repro.sim.randomness.substream``) and the
+    main generator's draw order is untouched.  One ``rng.random()``
+    inside ``faults/`` silently perturbs every scenario that attaches
+    an injector.  The rule flags *any* read of a name or attribute
+    called ``rng`` in files under a ``faults`` package directory.
+    """
+
+    id = "SL007"
+    name = "faults-direct-rng"
+    description = ("direct `rng` use inside a faults/ package; draw "
+                   "from a named substream instead")
+
+    @staticmethod
+    def _in_faults_package(path: str) -> bool:
+        parts = path.replace("\\", "/").split("/")
+        return "faults" in parts[:-1]
+
+    def check(self, ctx: FileContext) -> Iterator[Finding]:
+        if not self._in_faults_package(ctx.path):
+            return
+        for node in ast.walk(ctx.tree):
+            if isinstance(node, ast.Name) and node.id == "rng":
+                name = "rng"
+            elif isinstance(node, ast.Attribute) and node.attr == "rng":
+                name = dotted_name(node) or f"<expr>.{node.attr}"
+            else:
+                continue
+            yield ctx.finding(
+                self, node,
+                f"`{name}` referenced inside a faults/ package; fault "
+                f"injection must draw from its own substream "
+                f"(repro.sim.randomness.substream), never the "
+                f"simulation rng")
 
 
 def all_rule_ids() -> List[str]:

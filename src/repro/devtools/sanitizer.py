@@ -70,6 +70,7 @@ class SimulationSanitizer:
         self._reported: Dict[int, bool] = {}  # id -> truthful
         self._forgiven: Set[int] = set()
         self._released: Set[int] = set()
+        self._aborted: Set[int] = set()
         self.collusion_releases = 0
 
     # ------------------------------------------------------------------
@@ -202,12 +203,51 @@ class SimulationSanitizer:
         self._forgiven.add(tx.transaction_id)
         self._note(f"tx {tx.transaction_id} forgiven")
 
+    def on_reopen(self, tx: Any) -> None:
+        """A reciprocated-but-unreported transaction rolled back to
+        DELIVERED (the silent-payee recovery of Sec. II-B4).
+
+        The shadow reciprocation/report facts are withdrawn: the
+        requestor owes a *fresh* reciprocation, and a key released on
+        the stale evidence must fail as a violation rather than ride
+        on state from before the rollback.
+        """
+        self.checks_run += 1
+        tx_id = tx.transaction_id
+        if tx_id not in self._reciprocated:
+            self._fail(
+                f"transaction {tx_id} reopened but no reciprocation "
+                f"was ever observed (reopen is only legal from "
+                f"RECIPROCATED)")
+        if tx_id in self._released:
+            self._fail(
+                f"transaction {tx_id} reopened after its key was "
+                f"released")
+        self._reciprocated.discard(tx_id)
+        self._reported.pop(tx_id, None)
+        self._note(f"tx {tx_id} reopened (reciprocation withdrawn)")
+
+    def on_abort(self, tx: Any) -> None:
+        """A transaction died (unrecoverable departure / write-off)."""
+        self.checks_run += 1
+        tx_id = tx.transaction_id
+        if tx_id in self._released:
+            self._fail(
+                f"transaction {tx_id} aborted after its key was "
+                f"released (completed exchanges cannot abort)")
+        self._aborted.add(tx_id)
+        self._note(f"tx {tx_id} aborted")
+
     def on_key_release(self, tx: Any) -> None:
         """The fair-exchange core: no observed report, no key."""
         self.checks_run += 1
         tx_id = tx.transaction_id
         if tx_id in self._released:
             self._fail(f"key for transaction {tx_id} released twice")
+        if tx_id in self._aborted:
+            self._fail(
+                f"fair-exchange violation: key for transaction "
+                f"{tx_id} released after the transaction aborted")
         if tx_id in self._forgiven:
             self._released.add(tx_id)
             self._note(f"tx {tx_id} key released (forgiven)")

@@ -134,6 +134,7 @@ def run_swarm(protocol: str = "tchain",
               config: Optional[SwarmConfig] = None,
               setup: Optional[Callable[[Swarm], None]] = None,
               sanitize: bool = False,
+              fault_plan=None,
               **config_overrides) -> RunResult:
     """Run one full swarm simulation.
 
@@ -141,7 +142,10 @@ def run_swarm(protocol: str = "tchain",
     ``setup`` runs after the seeder joins but before leecher arrivals
     (used by experiments that need custom instrumentation).
     ``sanitize`` runs the whole swarm under the simulation sanitizer
-    (see :mod:`repro.devtools.sanitizer`).
+    (see :mod:`repro.devtools.sanitizer`).  ``fault_plan`` attaches a
+    :class:`repro.faults.FaultPlan` through a fresh
+    :class:`~repro.faults.FaultInjector`; an idle plan leaves the
+    event trace bit-identical to a run without one (docs/FAULTS.md).
     """
     if config is None:
         config = build_config(protocol, file_mb=file_mb, pieces=pieces,
@@ -151,6 +155,9 @@ def run_swarm(protocol: str = "tchain",
         config = config.with_overrides(
             extra={**config.extra, "sanitize": True})
     swarm = Swarm(config)
+    if fault_plan is not None:
+        from repro.faults.injector import FaultInjector
+        FaultInjector(fault_plan, seed=config.seed).attach(swarm)
     seeder_cls, leecher_cls = PROTOCOLS[protocol]
     seeder = seeder_cls(swarm)
     seeder.join()

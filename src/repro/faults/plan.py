@@ -1,0 +1,108 @@
+"""Declarative fault plans.
+
+A :class:`FaultPlan` is pure configuration: which failure modes a run
+should suffer and at what rates.  It makes no draws and holds no
+state — the :class:`repro.faults.injector.FaultInjector` interprets it
+against its own named random substream, so the *same plan + same seed*
+always injects the same faults, and a plan with every rate at zero is
+indistinguishable from no plan at all (bit-identical event traces;
+see docs/FAULTS.md for the determinism contract).
+
+The failure modes map to the robustness discussion of the paper
+(Secs. II-B3/B4, III-A):
+
+* **control-message loss/delay** — reception reports, key releases
+  and pleads travel out-of-band (Sec. III-C); losing one silently
+  wedges an exchange unless the recovery layer retries or pleads.
+* **peer crashes** — *unclean* departures: the victim vanishes
+  mid-transaction without the Sec. II-B4 key handover or payee
+  reassignment it would perform on a clean leave.
+* **upload stalls** — a piece transfer whose payload lands late
+  (flaky last hop), exercising the obligation retry machinery.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Optional, Tuple
+
+
+class FaultPlanError(ValueError):
+    """Raised for ill-formed fault plans."""
+
+
+@dataclass(frozen=True)
+class PeerCrash:
+    """One scheduled unclean departure.
+
+    ``peer_id`` pins the victim; ``None`` lets the injector draw one
+    (from its substream) among the active leechers with open
+    transactions at ``at_s`` — the mid-transaction crash the recovery
+    layer must survive.  A crash whose victim cannot be resolved
+    (departed already, nobody eligible) is skipped and counted in
+    :attr:`FaultInjector.crashes_skipped`.
+    """
+
+    at_s: float
+    peer_id: Optional[str] = None
+
+    def __post_init__(self):
+        if self.at_s < 0:
+            raise FaultPlanError(f"crash scheduled at negative time "
+                                 f"{self.at_s!r}")
+
+
+def _check_prob(name: str, value: float) -> None:
+    if not 0.0 <= value <= 1.0:
+        raise FaultPlanError(f"{name} must be in [0, 1], got {value!r}")
+
+
+@dataclass(frozen=True)
+class FaultPlan:
+    """Failure rates and schedules for one simulated run.
+
+    Attributes
+    ----------
+    control_loss_prob:
+        Probability each control message (reception report, key
+        release, plead, reopen notice) is silently dropped.
+    control_delay_prob / control_delay_s:
+        Probability a surviving control message is delayed, and the
+        maximum extra delay (uniform draw in ``(0, control_delay_s]``).
+    upload_stall_prob / upload_stall_s:
+        Probability a completed piece transfer's payload lands late,
+        and the maximum stall.
+    crashes:
+        Scheduled unclean departures (:class:`PeerCrash`).
+    """
+
+    control_loss_prob: float = 0.0
+    control_delay_prob: float = 0.0
+    control_delay_s: float = 1.0
+    upload_stall_prob: float = 0.0
+    upload_stall_s: float = 5.0
+    crashes: Tuple[PeerCrash, ...] = field(default_factory=tuple)
+
+    def __post_init__(self):
+        _check_prob("control_loss_prob", self.control_loss_prob)
+        _check_prob("control_delay_prob", self.control_delay_prob)
+        _check_prob("upload_stall_prob", self.upload_stall_prob)
+        if self.control_delay_s < 0:
+            raise FaultPlanError(
+                f"control_delay_s must be >= 0, got "
+                f"{self.control_delay_s!r}")
+        if self.upload_stall_s < 0:
+            raise FaultPlanError(
+                f"upload_stall_s must be >= 0, got "
+                f"{self.upload_stall_s!r}")
+        # Tuple-ify so callers may pass lists without breaking
+        # hashability of the frozen dataclass.
+        object.__setattr__(self, "crashes", tuple(self.crashes))
+
+    @property
+    def idle(self) -> bool:
+        """True when the plan injects nothing at all."""
+        return (self.control_loss_prob == 0.0
+                and self.control_delay_prob == 0.0
+                and self.upload_stall_prob == 0.0
+                and not self.crashes)

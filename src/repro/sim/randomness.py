@@ -10,6 +10,7 @@ accidentally share run seeds.
 from __future__ import annotations
 
 import hashlib
+from random import Random
 from typing import Iterator, List
 
 
@@ -44,3 +45,16 @@ class SeedSequence:
     def child(self, label: str) -> "SeedSequence":
         """A namespaced sub-sequence (e.g. per-protocol within a sweep)."""
         return SeedSequence(self.root, f"{self.label}/{label}")
+
+
+def substream(root: int, label: str) -> Random:
+    """An independent named random stream derived from ``root``.
+
+    Subsystems that must not perturb the simulation's main
+    ``Simulator.rng`` draw order (so they can be attached or detached
+    without changing the event trace — e.g. the fault injector of
+    :mod:`repro.faults`) derive their own generator here.  The same
+    ``(root, label)`` pair always yields the same stream, and distinct
+    labels never collide thanks to the SHA-256 derivation above.
+    """
+    return Random(SeedSequence(root, label).seed(0))

@@ -68,6 +68,38 @@ class TestSameSeedIdentical:
             assert trace_a == trace_b, protocol
 
 
+class TestIdleFaultPlanInert:
+    """Attaching a zero-rate FaultPlan must not perturb the trace.
+
+    This is the determinism contract of ``repro.faults``: the
+    injector draws from its own named substream and makes zero draws
+    when every rate is 0.0, and control messages cross
+    ``Swarm.send_control`` in *every* run — so the event traces are
+    bit-identical with and without the idle injector attached.
+    """
+
+    def test_zero_rate_plan_trace_bit_identical(self):
+        from repro.faults import FaultPlan
+        idle = FaultPlan()
+        assert idle.idle
+        trace_a, result_a = traced_run(seed=42, **SCENARIO)
+        trace_b, result_b = traced_run(seed=42, fault_plan=idle,
+                                       **SCENARIO)
+        assert len(trace_a) > 100
+        assert trace_a == trace_b
+        assert record_rows(result_a) == record_rows(result_b)
+        assert result_a.swarm.sim.now == result_b.swarm.sim.now
+
+    def test_active_plan_perturbs_trace(self):
+        """Sanity check on the previous test: a plan with real rates
+        does change the trace, so the comparison has teeth."""
+        from repro.faults import FaultPlan
+        lossy = FaultPlan(control_loss_prob=0.2)
+        trace_a, _ = traced_run(seed=42, **SCENARIO)
+        trace_b, _ = traced_run(seed=42, fault_plan=lossy, **SCENARIO)
+        assert trace_a != trace_b
+
+
 class TestDifferentSeedsDiffer:
     def test_event_traces_differ(self):
         trace_a, _ = traced_run(seed=42, **SCENARIO)

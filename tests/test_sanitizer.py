@@ -92,6 +92,90 @@ class TestFairExchangeInvariant:
         assert tx.state is TransactionState.COMPLETED
 
 
+class TestReopenAbortInvariants:
+    """Shadow-state checks on the recovery layer's ledger moves.
+
+    ``reopen`` (the silent-payee rollback) and ``abort`` (the
+    unrecoverable write-off) gained sanitizer hooks alongside the
+    fault-injection work; these tests drive them both through injected
+    corruption — where the ledger's own precondition checks pass and
+    only the shadow state knows better — and through the legal path,
+    where a reopen must *withdraw* the stale reciprocation evidence.
+    """
+
+    def test_reopen_without_observed_reciprocation_raises(self):
+        ledger = sanitized_ledger()
+        chain, tx, _ = start_chain(ledger)
+        ledger.mark_delivered(tx.transaction_id, 1.0)
+        tx.state = TransactionState.RECIPROCATED  # injected corruption
+        with pytest.raises(SanitizerError, match="no reciprocation"):
+            ledger.reopen(tx.transaction_id, 2.0)
+
+    def test_reopen_after_key_release_raises(self):
+        ledger = sanitized_ledger()
+        chain, tx, _ = start_chain(ledger)
+        reciprocate(ledger, chain, tx)
+        ledger.report_reciprocation(tx.transaction_id, 3.0)
+        ledger.release_key(tx.transaction_id, 4.0)
+        tx.state = TransactionState.RECIPROCATED  # injected corruption
+        with pytest.raises(SanitizerError,
+                           match="after its key was released"):
+            ledger.reopen(tx.transaction_id, 5.0)
+
+    def test_reopen_withdraws_reciprocation_evidence(self):
+        # A legal reopen, then a truthful report riding the *stale*
+        # (pre-rollback) reciprocation: the requestor owes a fresh
+        # upload, so the old evidence must no longer carry a report.
+        ledger = sanitized_ledger()
+        chain, tx, _ = start_chain(ledger)
+        reciprocate(ledger, chain, tx)
+        ledger.reopen(tx.transaction_id, 3.0)
+        assert tx.state is TransactionState.DELIVERED
+        tx.state = TransactionState.RECIPROCATED  # injected corruption
+        with pytest.raises(SanitizerError,
+                           match="without an observed reciprocation"):
+            ledger.report_reciprocation(tx.transaction_id, 4.0)
+
+    def test_fresh_reciprocation_after_reopen_passes(self):
+        # The full recovery round-trip: reopen, reassign the payee,
+        # reciprocate anew, report, release — all legal.
+        ledger = sanitized_ledger()
+        chain, tx, _ = start_chain(ledger)
+        reciprocate(ledger, chain, tx)
+        ledger.reopen(tx.transaction_id, 3.0)
+        ledger.reassign_payee(tx.transaction_id, "E")
+        fresh, _ = ledger.create_transaction(
+            chain, donor_id=tx.requestor_id, requestor_id="E",
+            payee_id="F", piece_index=tx.piece_index + 2, now=4.0,
+            reciprocates=tx.transaction_id)
+        ledger.mark_delivered(fresh.transaction_id, 5.0)
+        ledger.report_reciprocation(tx.transaction_id, 6.0)
+        ledger.release_key(tx.transaction_id, 7.0)
+        assert tx.state is TransactionState.COMPLETED
+
+    def test_abort_after_key_release_raises(self):
+        ledger = sanitized_ledger()
+        chain, tx, _ = start_chain(ledger)
+        reciprocate(ledger, chain, tx)
+        ledger.report_reciprocation(tx.transaction_id, 3.0)
+        ledger.release_key(tx.transaction_id, 4.0)
+        tx.state = TransactionState.DELIVERED  # injected corruption
+        with pytest.raises(SanitizerError,
+                           match="aborted after its key"):
+            ledger.abort(tx.transaction_id, 5.0)
+
+    def test_key_release_after_abort_raises(self):
+        ledger = sanitized_ledger()
+        chain, tx, _ = start_chain(ledger)
+        ledger.mark_delivered(tx.transaction_id, 1.0)
+        ledger.abort(tx.transaction_id, 2.0)
+        tx.state = TransactionState.REPORTED  # injected corruption
+        with pytest.raises(SanitizerError,
+                           match="released after the transaction "
+                                 "aborted"):
+            ledger.release_key(tx.transaction_id, 3.0)
+
+
 class TestEngineInvariants:
     def test_non_finite_schedule_time_raises(self):
         sim = Simulator(sanitize=True)

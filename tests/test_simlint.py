@@ -227,6 +227,59 @@ class TestSL006CallbackArity:
         """) == []
 
 
+class TestSL007FaultsDirectRng:
+    def test_rng_attribute_in_faults_flagged(self):
+        assert rules_of("""
+            def fate(self):
+                return self.swarm.sim.rng.random()
+        """, path="src/repro/faults/injector.py") == ["SL007"]
+
+    def test_bare_rng_name_in_faults_flagged(self):
+        assert rules_of("""
+            def fate(rng):
+                return rng.random()
+        """, path="src/repro/faults/plan.py") == ["SL007"]
+
+    def test_substream_draws_clean(self):
+        assert rules_of("""
+            from repro.sim.randomness import substream
+            class FaultInjector:
+                def __init__(self, seed):
+                    self._draws = substream(seed, "faults")
+                def fate(self):
+                    return self._draws.random()
+        """, path="src/repro/faults/injector.py") == []
+
+    def test_rng_outside_faults_clean(self):
+        source = """
+            def fate(self):
+                return self.sim.rng.random()
+        """
+        assert rules_of(source,
+                        path="src/repro/bt/protocols/tchain.py") == []
+
+    def test_faults_must_be_a_directory_component(self):
+        # A *file* named faults.py is not a faults package; and a
+        # directory merely containing the substring does not match.
+        assert rules_of("x = rng.random()\n",
+                        path="src/repro/faults.py") == []
+        assert rules_of("x = rng.random()\n",
+                        path="src/defaults/thing.py") == []
+
+    def test_windows_separators_normalized(self):
+        assert rules_of("x = rng.random()\n",
+                        path="src\\repro\\faults\\x.py") == ["SL007"]
+
+    def test_real_faults_package_is_clean(self):
+        import glob
+        package = os.path.join(os.path.dirname(__file__), "..",
+                               "src", "repro", "faults")
+        paths = sorted(glob.glob(os.path.join(package, "*.py")))
+        assert paths
+        findings = lint_paths(paths)
+        assert [f for f in findings if f.rule == "SL007"] == []
+
+
 class TestSuppression:
     def test_line_suppression(self):
         assert rules_of(
@@ -369,10 +422,11 @@ class TestCli:
 
 
 class TestRegistry:
-    def test_six_rules_registered(self):
-        assert len(RULES) >= 6
-        assert all_rule_ids()[:6] == ["SL001", "SL002", "SL003",
-                                      "SL004", "SL005", "SL006"]
+    def test_rules_registered(self):
+        assert len(RULES) >= 7
+        assert all_rule_ids()[:7] == ["SL001", "SL002", "SL003",
+                                      "SL004", "SL005", "SL006",
+                                      "SL007"]
 
     def test_rules_have_metadata(self):
         for rule in RULES.values():

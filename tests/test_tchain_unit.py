@@ -190,13 +190,87 @@ class TestReopenFlow:
         tx.advance(TransactionState.RECIPROCATED)
         peer.obligations.clear()
         peer._check_key_timeout(tx_id)
-        # The reopen rolled the transaction back to DELIVERED; the
-        # immediate pump may already have settled it (re-reciprocated
-        # or forgiven) — either way it must not stay RECIPROCATED.
+        # The timeout pleads to the donor (an async control message);
+        # once the plead lands the donor reopens the transaction and
+        # reassigns the payee — or forgives outright.  Either way it
+        # must not stay RECIPROCATED.
+        recovery = swarm.metrics.recovery
+        assert recovery.key_timeouts == 1
+        assert recovery.pleads == 1
+        swarm.sim.run(until=swarm.sim.now + 1.0)
         assert tx.state is not TransactionState.RECIPROCATED
+        assert recovery.reopens + recovery.forgives >= 1
         if tx.state is TransactionState.DELIVERED \
                 and not peer.uploading_to(tx.payee_id or ""):
             assert tx_id in peer.obligations
+
+
+class TestWhitewashMidExchange:
+    """``Swarm.rebrand`` while the peer has open ledger transactions.
+
+    The ledger keys every open transaction by peer *identity*, so an
+    identity change mid-exchange leaves stale state behind: the paper
+    turns that into a feature (Sec. III-A3 — a whitewasher forfeits
+    its sealed pieces), and ``TChainLeecher.on_whitewash`` implements
+    the forfeit so the abandoned identity cannot wedge anyone.
+    """
+
+    def _mid_exchange_victim(self, swarm, peers):
+        state = TChainState.of(swarm)
+        for peer in peers:
+            if peer.active and state.ledger.open_transactions_involving(
+                    peer.id):
+                return peer
+        return None
+
+    def test_rebrand_swaps_identity_and_forfeits_exchanges(self):
+        swarm, seeder = tchain_swarm(n_pieces=8)
+        peers = [add_leecher(swarm) for _ in range(4)]
+        swarm.sim.run(until=5.0)
+        victim = self._mid_exchange_victim(swarm, peers)
+        if victim is None:
+            pytest.skip("no peer mid-exchange at this instant")
+        state = TChainState.of(swarm)
+        old_id = victim.id
+        open_before = state.ledger.open_transactions_involving(old_id)
+        sealed_pieces = [s.piece_index
+                         for s in victim.pending_sealed.values()]
+        new_id = victim.whitewash()
+        assert new_id != old_id
+        assert swarm.find_peer(old_id) is None
+        assert swarm.find_peer(new_id) is victim
+        assert old_id not in swarm.topology
+        # The ledger still names the abandoned identity — rebrand
+        # never launders exchange state onto the new one...
+        for tx in open_before:
+            assert new_id not in (tx.donor_id, tx.requestor_id,
+                                  tx.payee_id)
+        # ...and the peer's side of every exchange is forfeited: no
+        # obligations, no sealed pieces, and each dropped sealed
+        # piece is wanted again (re-fetchable under the new id).
+        assert not victim.obligations
+        assert not victim.pending_sealed
+        for piece in sealed_pieces:
+            assert piece in victim.book.wanted()
+
+    def test_rebrand_mid_exchange_wedges_nobody(self):
+        swarm, seeder = tchain_swarm(n_pieces=8)
+        peers = [add_leecher(swarm) for _ in range(6)]
+        washed = []
+
+        def wash():
+            victim = self._mid_exchange_victim(swarm, peers)
+            if victim is not None:
+                washed.append(victim)
+                victim.whitewash()
+
+        swarm.sim.schedule(6.0, wash)
+        swarm.run(max_time=1200.0)
+        assert washed, "no peer was mid-exchange at t=6"
+        # Everyone finishes — including the whitewasher, which paid
+        # for its identity change by re-fetching the forfeited pieces.
+        for peer in peers:
+            assert peer.finish_time is not None, peer.id
 
 
 class TestDepartureHandling:

@@ -146,3 +146,51 @@ class TestReplacementChurn:
         spawned_at_horizon = churn.spawned
         swarm.run(max_time=400.0)
         assert churn.spawned == spawned_at_horizon
+
+
+class TestChurnHorizonBoundary:
+    """The exact-``horizon_s`` edge: finishes landing *on* the horizon
+    must neither spawn a replacement nor leak a pending-arrival count
+    (a leaked count would stall ``stop_when_drained`` forever)."""
+
+    def churned_swarm(self, horizon_s=30.0, seed=9):
+        config = SwarmConfig(n_pieces=2, seed=seed)
+        swarm = Swarm(config)
+        seeder_cls, leecher_cls = PROTOCOLS["bittorrent"]
+        seeder_cls(swarm).join()
+        churn = ReplacementChurn(swarm, lambda: leecher_cls(swarm),
+                                 horizon_s=horizon_s)
+        return swarm, churn
+
+    def test_finish_exactly_at_horizon_spawns_nothing(self):
+        swarm, churn = self.churned_swarm(horizon_s=30.0)
+        swarm.sim.schedule(30.0, lambda: churn._replace(None))
+        swarm.sim.run(until=60.0)
+        assert churn.spawned == 0
+        assert swarm._pending_arrivals == 0
+
+    def test_finish_just_before_horizon_still_spawns(self):
+        swarm, churn = self.churned_swarm(horizon_s=30.0)
+        swarm.sim.schedule(30.0 - 1e-9,
+                           lambda: churn._replace(None))
+        swarm.sim.run(until=60.0)
+        assert churn.spawned == 1
+        assert swarm._pending_arrivals == 0
+        # the replacement really joined (and had time to finish)
+        assert swarm.finished_leechers == 1
+
+    def test_join_landing_on_horizon_drains_pending(self):
+        # The hazardous interleaving: the finish fires before the
+        # horizon, but its replacement's _join lands at (or past) it.
+        # The join must decline to spawn yet still drain the pending
+        # count it registered.
+        swarm, churn = self.churned_swarm(horizon_s=30.0)
+
+        def scheduled_then_late_join():
+            swarm.note_arrival_scheduled()
+            churn._join()
+
+        swarm.sim.schedule(30.0, scheduled_then_late_join)
+        swarm.sim.run(until=60.0)
+        assert swarm._pending_arrivals == 0
+        assert len(swarm.leechers()) == 0

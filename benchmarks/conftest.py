@@ -4,6 +4,11 @@ Every benchmark regenerates one paper table/figure at the configured
 :class:`ExperimentScale` (env ``REPRO_SCALE`` / ``REPRO_SEEDS``),
 prints the resulting rows/series, and writes them under
 ``benchmarks/out/`` so EXPERIMENTS.md can reference the artifacts.
+
+Seed sweeps inside the figure modules go through ``run_many``, which
+honours the ``REPRO_WORKERS`` knob — ``REPRO_WORKERS=4 pytest
+benchmarks/`` fans each sweep over four worker processes with results
+bit-identical to serial (docs/PERF.md).
 """
 
 import pathlib
@@ -11,6 +16,7 @@ import pathlib
 import pytest
 
 from repro.experiments.config import ExperimentScale
+from repro.experiments.parallel import resolve_workers
 
 OUT_DIR = pathlib.Path(__file__).parent / "out"
 
@@ -19,6 +25,20 @@ OUT_DIR = pathlib.Path(__file__).parent / "out"
 def scale() -> ExperimentScale:
     """The session's experiment scale (env-configurable)."""
     return ExperimentScale.from_env()
+
+
+@pytest.fixture(scope="session")
+def workers() -> int:
+    """The session's worker count (env ``REPRO_WORKERS``; 1 = serial)."""
+    return resolve_workers()
+
+
+@pytest.fixture(scope="session", autouse=True)
+def _report_workers(workers):
+    """Surface the effective worker count in the benchmark header so
+    recorded timings are never compared across unequal fan-outs by
+    accident."""
+    print(f"\n[benchmarks: REPRO_WORKERS resolved to {workers}]")
 
 
 @pytest.fixture(scope="session")

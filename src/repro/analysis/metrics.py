@@ -146,6 +146,14 @@ class SwarmMetrics:
             if peer.id not in recorded:
                 self.record_peer(peer, swarm.sim.now)
 
+    def __eq__(self, other) -> bool:
+        """Structural equality over rows and counters — this is what
+        the serial-vs-parallel bit-identical guarantee compares."""
+        if not isinstance(other, SwarmMetrics):
+            return NotImplemented
+        return (self.records == other.records
+                and self.recovery == other.recovery)
+
     # ------------------------------------------------------------------
     # Selections
     # ------------------------------------------------------------------

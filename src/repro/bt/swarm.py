@@ -206,14 +206,14 @@ class Swarm:
             if stop_when_drained and self.active_leechers == 0 \
                     and not self._arrivals_pending():
                 break
-            head = self.sim._heap[0] if self.sim._heap else None
-            if head is None:
+            head_time = self.sim.peek_time()
+            if head_time is None:
                 break
-            if limit is not None and head.time > limit:
+            if limit is not None and head_time > limit:
                 self.sim.now = limit
                 break
             if quiet and not self._arrivals_pending() \
-                    and head.time - self.last_activity > quiet:
+                    and head_time - self.last_activity > quiet:
                 break
             self.sim.step()
 

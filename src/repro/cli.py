@@ -21,7 +21,16 @@ Commands
     Chaos smoke test: a sanitized T-Chain swarm under seeded fault
     injection (control-message loss/delay, upload stalls, peer
     crashes); exits nonzero unless every surviving honest leecher
-    finished (docs/FAULTS.md).
+    finished (docs/FAULTS.md).  ``--seeds`` sweeps several scenarios,
+    optionally across worker processes.
+``bench``
+    Pinned performance benchmark: engine timer-churn throughput, full
+    protocol scenarios, and a serial-vs-parallel sweep with the
+    bit-identical check; writes a JSON report (docs/PERF.md).
+
+``compare``, ``figure``, ``chaos`` and ``bench`` accept ``--workers N``
+(or the ``REPRO_WORKERS`` environment knob) to fan independent runs
+out over worker processes; results are bit-identical to serial.
 
 Examples
 --------
@@ -30,10 +39,11 @@ Examples
     python -m repro run --protocol tchain --leechers 60 --pieces 32 \
         --freeriders 0.25 --out results/run1
     python -m repro compare --leechers 40 --pieces 16 --freeriders 0.25
-    python -m repro figure fig7 --scale 0.5 --seeds 1
+    python -m repro figure fig7 --scale 0.5 --seeds 1 --workers 4
     python -m repro models
     python -m repro lint src/ --disable SL004
-    python -m repro chaos --seed 0 --loss 0.1 --crashes 2
+    python -m repro chaos --seeds 0 1 2 3 --workers 4
+    python -m repro bench --quick --out BENCH_PR3.json
 """
 
 from __future__ import annotations
@@ -50,6 +60,7 @@ from repro.attacks.freerider import FreeRiderOptions
 from repro.bt.protocols import PROTOCOLS
 from repro.experiments import run_swarm
 from repro.experiments.config import ExperimentScale
+from repro.experiments.parallel import ENV_WORKERS, RunSpec, run_specs
 
 
 def build_parser() -> argparse.ArgumentParser:
@@ -71,6 +82,9 @@ def build_parser() -> argparse.ArgumentParser:
                        default=["bittorrent", "propshare",
                                 "fairtorrent", "tchain"],
                        choices=sorted(PROTOCOLS))
+    cmp_p.add_argument("--workers", type=int, default=None,
+                       help="worker processes (default: REPRO_WORKERS "
+                            "or serial)")
 
     fig_p = sub.add_parser("figure",
                            help="regenerate a paper figure/table")
@@ -83,6 +97,9 @@ def build_parser() -> argparse.ArgumentParser:
     fig_p.add_argument("--seeds", type=int, default=2)
     fig_p.add_argument("--seed", type=int, default=42,
                        help="root seed")
+    fig_p.add_argument("--workers", type=int, default=None,
+                       help="worker processes for the figure's seed "
+                            "sweeps (default: REPRO_WORKERS or serial)")
 
     sub.add_parser("models",
                    help="Section III analytical results")
@@ -119,6 +136,23 @@ def build_parser() -> argparse.ArgumentParser:
     chaos_p.add_argument("--crashes", type=int, default=2,
                          help="seeded unclean peer crashes")
     chaos_p.add_argument("--max-time", type=float, default=None)
+    chaos_p.add_argument("--seeds", type=int, nargs="+", default=None,
+                         help="sweep several seeds (overrides --seed)")
+    chaos_p.add_argument("--workers", type=int, default=None,
+                         help="worker processes for the seed sweep "
+                              "(default: REPRO_WORKERS or serial)")
+
+    bench_p = sub.add_parser(
+        "bench", help="pinned performance benchmark (writes JSON)")
+    bench_p.add_argument("--quick", action="store_true",
+                         help="CI smoke matrix (smaller, 1 repetition)")
+    bench_p.add_argument("--repeat", type=int, default=3,
+                         help="repetitions per workload (best-of)")
+    bench_p.add_argument("--out", default="BENCH_PR3.json",
+                         help="report path (default: BENCH_PR3.json)")
+    bench_p.add_argument("--workers", type=int, default=None,
+                         help="workers for the parallel leg (default: "
+                              "min(4, cpus))")
     return parser
 
 
@@ -187,16 +221,22 @@ def cmd_run(args) -> int:
 
 
 def cmd_compare(args) -> int:
+    specs = [RunSpec(
+        protocol=protocol, leechers=args.leechers, pieces=args.pieces,
+        piece_size_kb=args.piece_kb, seed=args.seed,
+        freerider_fraction=args.freeriders,
+        freerider_options=_options_from(args),
+        arrival=args.arrival, max_time=args.max_time)
+        for protocol in args.protocols]
     rows = []
     bars = []
-    for protocol in args.protocols:
-        result = _run_one(args, protocol)
+    for result in run_specs(specs, workers=args.workers):
         metrics = result.metrics
         mct = metrics.mean_completion_time("leecher")
-        rows.append((protocol, mct,
+        rows.append((result.protocol, mct,
                      metrics.mean_utilization("leecher"),
                      metrics.completion_rate("freerider")))
-        bars.append((protocol, round(mct or 0.0, 1)))
+        bars.append((result.protocol, round(mct or 0.0, 1)))
     print(format_table(
         ["protocol", "compliant completion (s)", "utilization",
          "free-riders finished"],
@@ -211,6 +251,10 @@ def cmd_figure(args) -> int:
     from repro.experiments import (fig3, fig4, fig5, fig6, fig7, fig8,
                                    fig9, fig10, fig11, fig12, fig13,
                                    table2)
+    if args.workers is not None:
+        # The figure modules drive their sweeps through run_many(),
+        # which resolves this knob; no per-module plumbing needed.
+        os.environ[ENV_WORKERS] = str(args.workers)
     scale = ExperimentScale(factor=args.scale, seeds=args.seeds,
                             root_seed=args.seed)
     name = args.name
@@ -317,23 +361,64 @@ def cmd_lint(args) -> int:
 
 
 def cmd_chaos(args) -> int:
-    from repro.faults import run_chaos
-    chaos = run_chaos(
-        leechers=args.leechers, pieces=args.pieces, seed=args.seed,
+    from repro.experiments.parallel import ChaosSpec, run_chaos_specs
+    seeds = args.seeds if args.seeds else [args.seed]
+    specs = [ChaosSpec(
+        leechers=args.leechers, pieces=args.pieces, seed=seed,
         control_loss_prob=args.loss, control_delay_prob=args.delay,
         control_delay_s=args.delay_s, upload_stall_prob=args.stall,
         upload_stall_s=args.stall_s, crashes=args.crashes,
-        max_time=args.max_time)
-    print(format_table(["quantity", "value"], chaos.summary_rows(),
-                       title="chaos smoke run"))
-    verdict = "PASS" if chaos.passed else "FAIL"
-    print(f"\n{verdict}: "
-          f"{chaos.survivors_finished}/{len(chaos.survivor_records)} "
-          f"surviving honest leechers finished under "
-          f"loss={args.loss:g} delay={args.delay:g} "
-          f"crashes={len(chaos.injector.crashed_ids)}; "
-          f"{chaos.sanitizer_checks} sanitizer checks, 0 violations")
-    return 0 if chaos.passed else 1
+        max_time=args.max_time) for seed in seeds]
+    summaries = run_chaos_specs(specs, workers=args.workers)
+    for chaos in summaries:
+        title = "chaos smoke run"
+        if len(summaries) > 1:
+            title += f" (seed {chaos.seed})"
+        print(format_table(["quantity", "value"], chaos.rows,
+                           title=title))
+        verdict = "PASS" if chaos.passed else "FAIL"
+        print(f"\n{verdict}: "
+              f"{chaos.survivors_finished}/{chaos.survivors_total} "
+              f"surviving honest leechers finished under "
+              f"loss={args.loss:g} delay={args.delay:g} "
+              f"crashes={chaos.crashes_executed}; "
+              f"{chaos.sanitizer_checks} sanitizer checks, "
+              f"0 violations")
+        if chaos is not summaries[-1]:
+            print()
+    return 0 if all(chaos.passed for chaos in summaries) else 1
+
+
+def cmd_bench(args) -> int:
+    from repro.experiments.bench import run_bench, write_report
+    report = run_bench(quick=args.quick, repeat=args.repeat,
+                       workers=args.workers)
+    baseline = report["baseline_pre_pr3"]
+    engine = report["engine"]
+    rows = [
+        ("engine churn (ev/s)", engine["events_per_second"]),
+        ("engine churn baseline (ev/s)",
+         baseline["engine_churn_events_per_second"]),
+        ("engine speedup vs baseline",
+         f"{engine['events_per_second'] / baseline['engine_churn_events_per_second']:.2f}x"),
+        ("heap compactions", engine["compactions"]),
+    ]
+    for row in report["scenarios"]:
+        rows.append((f"{row['name']} (ev/s)",
+                     row["events_per_second"]))
+    par = report["parallel"]
+    rows.extend([
+        (f"parallel sweep ({par['runs']} runs, "
+         f"{par['workers']} workers)",
+         f"{par['speedup']:.2f}x vs serial"),
+        ("parallel == serial (bit-identical)", par["identical"]),
+    ])
+    print(format_table(["benchmark", "value"], rows,
+                       title="repro bench"
+                             + (" --quick" if args.quick else "")))
+    path = write_report(report, args.out)
+    print(f"\nwrote {path}")
+    return 0
 
 
 COMMANDS = {
@@ -343,6 +428,7 @@ COMMANDS = {
     "models": cmd_models,
     "lint": cmd_lint,
     "chaos": cmd_chaos,
+    "bench": cmd_bench,
 }
 
 

@@ -69,7 +69,9 @@ class FlowController:
 
     def eligible(self, neighbor_id: str) -> bool:
         """True while the neighbor is under the window."""
-        return self.pending(neighbor_id) < self.pending_limit
+        # Inlined pending(): this check runs for every neighbor on
+        # every donor-planning pass.
+        return self._pending.get(neighbor_id, 0) < self.pending_limit
 
     def filter_eligible(self, neighbor_ids: Iterable[str]) -> List[str]:
         """Subset of ``neighbor_ids`` that pass the window check."""

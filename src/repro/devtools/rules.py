@@ -609,6 +609,71 @@ class FaultsRngRule(Rule):
                 f"simulation rng")
 
 
+# ----------------------------------------------------------------------
+# SL008 — ad-hoc process fan-out outside the sanctioned choke point
+# ----------------------------------------------------------------------
+@register
+class AdHocParallelismRule(Rule):
+    """SL008: process-based parallelism must route through
+    ``repro.experiments.parallel``.
+
+    That module is the single fan-out choke point: it guarantees
+    spec-order results, per-run seeding, picklable work units, prompt
+    surfacing of dead workers, and the ``REPRO_WORKERS`` knob.  A
+    ``ProcessPoolExecutor`` (or raw ``multiprocessing``) spun up
+    anywhere else re-derives those guarantees ad hoc — or, more
+    likely, silently lacks one of them (results in completion order,
+    shared mutable state, a hang on worker death).  The rule flags any
+    import or attribute reference to ``multiprocessing`` or
+    ``ProcessPoolExecutor`` outside ``experiments/parallel.py``.
+    """
+
+    id = "SL008"
+    name = "adhoc-parallelism"
+    description = ("ProcessPoolExecutor/multiprocessing outside "
+                   "experiments/parallel.py; route fan-out through "
+                   "repro.experiments.parallel")
+
+    _GUIDANCE = ("process fan-out belongs in repro.experiments.parallel "
+                 "(run_specs / run_chaos_specs); it guarantees "
+                 "spec-order results, per-run seeding and worker-death "
+                 "reporting")
+
+    @staticmethod
+    def _is_choke_point(path: str) -> bool:
+        parts = path.replace("\\", "/").split("/")
+        return parts[-1] == "parallel.py" and "experiments" in parts
+
+    def check(self, ctx: FileContext) -> Iterator[Finding]:
+        if self._is_choke_point(ctx.path):
+            return
+        for node in ast.walk(ctx.tree):
+            if isinstance(node, ast.Import):
+                for alias in node.names:
+                    if alias.name.split(".")[0] == "multiprocessing":
+                        yield ctx.finding(
+                            self, node,
+                            f"`import {alias.name}`: {self._GUIDANCE}")
+            elif isinstance(node, ast.ImportFrom):
+                module = node.module or ""
+                if module.split(".")[0] == "multiprocessing":
+                    yield ctx.finding(
+                        self, node,
+                        f"`from {module} import ...`: {self._GUIDANCE}")
+                    continue
+                for alias in node.names:
+                    if alias.name == "ProcessPoolExecutor":
+                        yield ctx.finding(
+                            self, node,
+                            f"`from {module} import "
+                            f"ProcessPoolExecutor`: {self._GUIDANCE}")
+            elif (isinstance(node, ast.Attribute)
+                    and node.attr == "ProcessPoolExecutor"):
+                name = dotted_name(node) or f"<expr>.{node.attr}"
+                yield ctx.finding(
+                    self, node, f"`{name}`: {self._GUIDANCE}")
+
+
 def all_rule_ids() -> List[str]:
     """Sorted ids of every registered rule."""
     return sorted(RULES)

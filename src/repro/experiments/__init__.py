@@ -4,9 +4,19 @@
 that builds, populates and runs a swarm; the per-figure modules
 (:mod:`repro.experiments.fig3` ... :mod:`repro.experiments.table2`)
 compose it into the paper's exact sweeps and print the corresponding
-rows/series.
+rows/series.  :mod:`repro.experiments.parallel` fans sweeps out over
+worker processes (``run_many(..., workers=N)`` / ``REPRO_WORKERS``)
+with spec-order, bit-identical results; :mod:`repro.experiments.bench`
+is the pinned perf harness behind ``repro bench``.
 """
 
+from repro.experiments.parallel import (
+    ParallelExecutionError,
+    RunSpec,
+    RunSummary,
+    resolve_workers,
+    run_specs,
+)
 from repro.experiments.runner import (
     RunResult,
     optimal_completion_time,
@@ -15,8 +25,13 @@ from repro.experiments.runner import (
 )
 
 __all__ = [
+    "ParallelExecutionError",
     "RunResult",
+    "RunSpec",
+    "RunSummary",
     "optimal_completion_time",
+    "resolve_workers",
     "run_many",
+    "run_specs",
     "run_swarm",
 ]

@@ -89,9 +89,8 @@ def run_opportunistic_fraction(scale: ExperimentScale = DEFAULT_SCALE
             pieces=scale.pieces(BASE_PIECES),
             freerider_fraction=fraction, arrival="trace",
             trace_horizon_s=300.0)
-        shares = summarize([
-            r.tchain_state.registry.opportunistic_fraction
-            for r in results])
+        shares = summarize([r.opportunistic_fraction
+                            for r in results])
         rows.append(OpportunisticRow(
             freerider_fraction=fraction,
             opportunistic_fraction=shares.mean,

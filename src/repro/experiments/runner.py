@@ -97,6 +97,23 @@ class RunResult:
             self.config.n_pieces * self.config.piece_size_kb,
             self.config.seeder_capacity_kbps, capacities)
 
+    @property
+    def opportunistic_fraction(self) -> float:
+        """Share of T-Chain chains initiated by leechers (0.0 when the
+        run was not T-Chain).  Mirrors
+        :attr:`repro.experiments.parallel.RunSummary.opportunistic_fraction`
+        so sweeps read the same attribute serial or parallel."""
+        state = self.tchain_state
+        if state is None:
+            return 0.0
+        return state.registry.opportunistic_fraction
+
+    def summary(self, wall_time_s: float = 0.0):
+        """The picklable :class:`~repro.experiments.parallel.RunSummary`
+        slice of this result (what parallel sweeps return)."""
+        from repro.experiments.parallel import summarize_run
+        return summarize_run(self, wall_time_s=wall_time_s)
+
 
 def build_config(protocol: str,
                  file_mb: Optional[float] = None,
@@ -128,7 +145,7 @@ def run_swarm(protocol: str = "tchain",
               pieces: Optional[int] = None,
               piece_size_kb: Optional[float] = None,
               max_time: Optional[float] = None,
-              freerider_options: FreeRiderOptions = FreeRiderOptions(),
+              freerider_options: Optional[FreeRiderOptions] = None,
               initial_piece_fraction: float = 0.0,
               trace_horizon_s: float = 2000.0,
               config: Optional[SwarmConfig] = None,
@@ -147,6 +164,11 @@ def run_swarm(protocol: str = "tchain",
     :class:`~repro.faults.FaultInjector`; an idle plan leaves the
     event trace bit-identical to a run without one (docs/FAULTS.md).
     """
+    if freerider_options is None:
+        # Constructed per call: a shared default instance would let a
+        # caller's mutation (or a future non-frozen options class)
+        # leak strategy flags across unrelated runs.
+        freerider_options = FreeRiderOptions()
     if config is None:
         config = build_config(protocol, file_mb=file_mb, pieces=pieces,
                               piece_size_kb=piece_size_kb, seed=seed,
@@ -205,9 +227,25 @@ def run_swarm(protocol: str = "tchain",
                      n_compliant=n_compliant, n_freeriders=n_free)
 
 
-def run_many(seeds: Sequence[int], **kwargs) -> List[RunResult]:
-    """Repeat :func:`run_swarm` across seeds."""
-    return [run_swarm(seed=seed, **kwargs) for seed in seeds]
+def run_many(seeds: Sequence[int], workers: Optional[int] = None,
+             **kwargs) -> List:
+    """Repeat :func:`run_swarm` across seeds.
+
+    ``workers`` (or the ``REPRO_WORKERS`` environment knob when it is
+    not passed; ``0`` = one per CPU) fans the seeds out over a process
+    pool via :mod:`repro.experiments.parallel`.  Parallel execution
+    returns :class:`~repro.experiments.parallel.RunSummary` objects —
+    slim, picklable, in seed order, and bit-identical to summarizing
+    the serial results; serial execution keeps returning full
+    :class:`RunResult` objects (live swarm attached).  Both carry the
+    accessor surface the figure sweeps consume.
+    """
+    from repro.experiments.parallel import (RunSpec, resolve_workers,
+                                            run_specs)
+    if resolve_workers(workers) <= 1:
+        return [run_swarm(seed=seed, **kwargs) for seed in seeds]
+    specs = [RunSpec.from_kwargs(seed=seed, **kwargs) for seed in seeds]
+    return run_specs(specs, workers=workers)
 
 
 def summarize_metric(results: Sequence[RunResult],

@@ -22,7 +22,8 @@ class Transfer:
     """One in-flight piece upload occupying a slot."""
 
     __slots__ = ("uplink", "size_kb", "rate_kbps", "started_at",
-                 "on_complete", "meta", "_event", "done", "cancelled")
+                 "on_complete", "meta", "_event", "done", "cancelled",
+                 "seq", "_idx")
 
     def __init__(self, uplink: "Uplink", size_kb: float, rate_kbps: float,
                  on_complete: Callable[["Transfer"], Any], meta: Any):
@@ -34,6 +35,8 @@ class Transfer:
         self.meta = meta
         self.done = False
         self.cancelled = False
+        self.seq = -1  # start order, assigned by the uplink
+        self._idx = -1  # position in the uplink's swap-pop list
         duration = (size_kb * 8.0) / rate_kbps
         self._event: Optional[EventHandle] = uplink.sim.schedule(
             duration, self._finish)
@@ -93,7 +96,11 @@ class Uplink:
         self.kb_sent = 0.0
         self.opened_at = sim.now
         self.closed_at: Optional[float] = None
+        # Removal is O(1) swap-pop (each transfer knows its index), so
+        # the list order is *not* start order; anything order-sensitive
+        # must sort by ``Transfer.seq`` (see close/in_flight).
         self._transfers: list = []
+        self._next_seq = 0
         # Conservation checks ride along when the simulator runs with
         # sanitize=True; None otherwise, costing one attribute read.
         self._sanitizer = getattr(sim, "sanitizer", None)
@@ -122,15 +129,28 @@ class Uplink:
         self.busy_slots += 1
         transfer = Transfer(self, size_kb, self.slot_rate_kbps,
                             on_complete, meta)
+        transfer.seq = self._next_seq
+        self._next_seq += 1
+        transfer._idx = len(self._transfers)
         self._transfers.append(transfer)
         if self._sanitizer is not None:
             self._sanitizer.on_transfer_start(self, transfer)
         return transfer
 
+    def _remove(self, transfer: Transfer) -> None:
+        """Unlink a transfer in O(1): move the tail into its slot."""
+        transfers = self._transfers
+        idx = transfer._idx
+        tail = transfers.pop()
+        if tail is not transfer:
+            transfers[idx] = tail
+            tail._idx = idx
+        transfer._idx = -1
+
     def _complete(self, transfer: Transfer) -> None:
         self.busy_slots -= 1
         self.kb_sent += transfer.size_kb
-        self._transfers.remove(transfer)
+        self._remove(transfer)
         if self._sanitizer is not None:
             self._sanitizer.on_transfer_end(self, transfer,
                                             transfer.size_kb)
@@ -138,7 +158,7 @@ class Uplink:
     def _abort(self, transfer: Transfer, partial_kb: float) -> None:
         self.busy_slots -= 1
         self.kb_sent += partial_kb
-        self._transfers.remove(transfer)
+        self._remove(transfer)
         if self._sanitizer is not None:
             self._sanitizer.on_transfer_end(self, transfer, partial_kb)
 
@@ -147,13 +167,16 @@ class Uplink:
         freeze the utilization window."""
         if self.closed_at is not None:
             return
-        for transfer in list(self._transfers):
+        # Cancel in start order: the internal list is swap-pop
+        # scrambled, and cancellation order feeds float accumulation
+        # (kb_sent) and sanitizer hooks, which must stay bit-stable.
+        for transfer in self.in_flight():
             transfer.cancel()
         self.closed_at = self.sim.now
 
     def in_flight(self) -> list:
-        """Currently running transfers (copy)."""
-        return list(self._transfers)
+        """Currently running transfers (copy, in start order)."""
+        return sorted(self._transfers, key=lambda t: t.seq)
 
     def utilization(self, now: Optional[float] = None) -> float:
         """Fraction of capacity actually used while in the swarm."""

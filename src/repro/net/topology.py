@@ -34,6 +34,11 @@ class Topology:
         self.refill_threshold = refill_threshold
         self._adj: Dict[str, Set[str]] = {}
         self._unlimited: Set[str] = set()
+        # Memoized sorted neighbor lists: every deterministic iteration
+        # over a neighborhood sorts it, and neighborhoods change far
+        # less often than they are read (rechoke scans, payee
+        # selection, rarest-first counting all read per event).
+        self._sorted_cache: Dict[str, List[str]] = {}
         self.on_disconnect: Optional[Callable[[str, str], None]] = None
 
     def add_peer(self, peer_id: str, unlimited: bool = False) -> None:
@@ -51,8 +56,10 @@ class Topology:
         depend on per-process string hashing.
         """
         neighbors = sorted(self._adj.pop(peer_id, ()))
+        self._sorted_cache.pop(peer_id, None)
         for other in neighbors:
             self._adj[other].discard(peer_id)
+            self._sorted_cache.pop(other, None)
             if self.on_disconnect is not None:
                 self.on_disconnect(other, peer_id)
         self._unlimited.discard(peer_id)
@@ -82,18 +89,31 @@ class Topology:
             return False
         self._adj[a].add(b)
         self._adj[b].add(a)
+        self._sorted_cache.pop(a, None)
+        self._sorted_cache.pop(b, None)
         return True
 
     def disconnect(self, a: str, b: str) -> None:
         """Remove the edge a—b if present."""
         if a in self._adj:
             self._adj[a].discard(b)
+            self._sorted_cache.pop(a, None)
         if b in self._adj:
             self._adj[b].discard(a)
+            self._sorted_cache.pop(b, None)
 
     def neighbors(self, peer_id: str) -> Set[str]:
         """The peer's current neighbor set (live view, do not mutate)."""
         return self._adj[peer_id]
+
+    def sorted_neighbors(self, peer_id: str) -> List[str]:
+        """The peer's neighbor ids in sorted order (cached between
+        edge changes; treat the returned list as read-only)."""
+        cached = self._sorted_cache.get(peer_id)
+        if cached is None:
+            cached = sorted(self._adj[peer_id])
+            self._sorted_cache[peer_id] = cached
+        return cached
 
     def degree(self, peer_id: str) -> int:
         """Number of neighbors."""

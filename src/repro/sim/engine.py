@@ -3,7 +3,20 @@
 The engine keeps a heap of ``(time, sequence, handle)`` entries.  The
 sequence number makes event ordering fully deterministic: two events
 scheduled for the same instant fire in scheduling order, regardless of
-heap internals.  Cancellation is O(1) (lazy deletion).
+heap internals — and because sequence numbers are unique, a heap
+comparison never reaches the handle, so every sift is a C-speed tuple
+comparison rather than a Python ``__lt__`` call.
+
+Cancellation is O(1) (lazy deletion), and the engine *compacts* the
+heap when dead entries dominate it: timer-churn-heavy workloads
+(T-Chain retransmit timers are re-armed on every ack) would otherwise
+pin thousands of cancelled handles until their nominal pop time,
+inflating every ``heappush``/``heappop`` by log of the dead weight and
+holding the memory hostage.  Compaction rebuilds the heap from live
+entries only; pop order is a pure function of the ``(time, seq)``
+total order, so a compaction can never change the event trace (the
+determinism harness asserts exactly that by diffing traces with
+compaction on and off).
 
 All randomness in a simulation flows through :attr:`Simulator.rng`, a
 single seeded ``random.Random``; running the same scenario with the same
@@ -14,7 +27,13 @@ from __future__ import annotations
 
 import heapq
 from random import Random
-from typing import Any, Callable, List, Optional
+from typing import Any, Callable, List, Optional, Tuple
+
+#: Compaction triggers when at least this many cancelled entries sit in
+#: the heap...
+COMPACT_MIN_DEAD = 256
+#: ...and they outnumber the live ones (>50 % of the heap is dead).
+COMPACT_DEAD_FRACTION = 0.5
 
 
 class SimulatorError(RuntimeError):
@@ -29,23 +48,29 @@ class EventHandle:
     cancelled they are inert.
     """
 
-    __slots__ = ("time", "seq", "callback", "args", "cancelled")
+    __slots__ = ("time", "seq", "callback", "args", "cancelled", "sim")
 
     def __init__(self, time: float, seq: int,
-                 callback: Callable[..., Any], args: tuple):
+                 callback: Callable[..., Any], args: tuple,
+                 sim: Optional["Simulator"] = None):
         self.time = time
         self.seq = seq
         self.callback = callback
         self.args = args
         self.cancelled = False
+        self.sim = sim
 
     def cancel(self) -> None:
         """Prevent the event from firing.  Idempotent."""
+        if self.cancelled:
+            return
         self.cancelled = True
         # Drop references so cancelled events do not pin object graphs
-        # while they wait to be popped from the heap.
+        # while they wait to be popped (or compacted) from the heap.
         self.callback = _noop
         self.args = ()
+        if self.sim is not None:
+            self.sim._on_cancel()
 
     @property
     def pending(self) -> bool:
@@ -64,6 +89,11 @@ def _noop() -> None:
     """Placeholder callback installed when a handle is cancelled."""
 
 
+#: One heap entry.  ``seq`` is unique, so tuple comparison terminates
+#: there and the handle itself is never compared.
+_Entry = Tuple[float, int, EventHandle]
+
+
 class Simulator:
     """A deterministic discrete-event simulator.
 
@@ -80,15 +110,23 @@ class Simulator:
         conservation and the fair-exchange invariant on every step,
         raising ``SanitizerError`` on violation.  Off by default (the
         checks cost a few percent of run time).
+    compact:
+        Enable lazy-deletion heap compaction (default on; the
+        determinism harness runs with it off to prove traces are
+        unaffected — see docs/PERF.md).
     """
 
-    def __init__(self, seed: int = 0, sanitize: bool = False):
+    def __init__(self, seed: int = 0, sanitize: bool = False,
+                 compact: bool = True):
         self.now: float = 0.0
         self.rng = Random(seed)
         self.seed = seed
-        self._heap: List[EventHandle] = []
+        self._heap: List[_Entry] = []
         self._seq = 0
         self._events_fired = 0
+        self._cancelled_in_heap = 0
+        self._compact_enabled = compact
+        self._compactions = 0
         self._running = False
         self._observers: List[Callable[[EventHandle], None]] = []
         self.sanitizer = None
@@ -119,11 +157,12 @@ class Simulator:
         if time < self.now:
             raise SimulatorError(
                 f"cannot schedule at {time!r}, now is {self.now!r}")
-        handle = EventHandle(time, self._seq, callback, args)
-        self._seq += 1
+        seq = self._seq
+        self._seq = seq + 1
+        handle = EventHandle(time, seq, callback, args, self)
         if self.sanitizer is not None:
             self.sanitizer.on_schedule(handle)
-        heapq.heappush(self._heap, handle)
+        heapq.heappush(self._heap, (time, seq, handle))
         return handle
 
     def call_now(self, callback: Callable[..., Any],
@@ -133,16 +172,45 @@ class Simulator:
         return self.schedule(0.0, callback, *args)
 
     # ------------------------------------------------------------------
+    # Cancellation bookkeeping
+    # ------------------------------------------------------------------
+    def _on_cancel(self) -> None:
+        """A handle still in the heap was cancelled; maybe compact."""
+        dead = self._cancelled_in_heap + 1
+        self._cancelled_in_heap = dead
+        if (dead >= COMPACT_MIN_DEAD and self._compact_enabled
+                and dead > len(self._heap) * COMPACT_DEAD_FRACTION):
+            self._compact()
+
+    def _compact(self) -> None:
+        """Rebuild the heap from live entries only.
+
+        Safe at any point: heap pop order is fully determined by the
+        ``(time, seq)`` total order, so dropping dead entries and
+        re-heapifying cannot reorder the live ones.  The rebuild is
+        in place (slice assignment) because the run loop holds a local
+        alias to the heap list across callbacks.
+        """
+        heap = self._heap
+        heap[:] = [entry for entry in heap if not entry[2].cancelled]
+        heapq.heapify(heap)
+        self._cancelled_in_heap = 0
+        self._compactions += 1
+
+    # ------------------------------------------------------------------
     # Execution
     # ------------------------------------------------------------------
     def step(self) -> bool:
         """Fire the single next pending event.
 
-        Returns ``False`` when the event queue is exhausted.
+        Returns ``False`` when no pending event remains (the heap is
+        empty or holds only cancelled handles).
         """
-        while self._heap:
-            handle = heapq.heappop(self._heap)
+        heap = self._heap
+        while heap:
+            handle = heapq.heappop(heap)[2]
             if handle.cancelled:
+                self._cancelled_in_heap -= 1
                 continue
             if self.sanitizer is not None:
                 self.sanitizer.on_event(handle)
@@ -150,7 +218,11 @@ class Simulator:
                 observer(handle)
             self.now = handle.time
             callback, args = handle.callback, handle.args
-            handle.cancel()  # mark consumed before user code runs
+            # Mark consumed before user code runs (no cancellation
+            # bookkeeping: the entry is already off the heap).
+            handle.cancelled = True
+            handle.callback = _noop
+            handle.args = ()
             callback(*args)
             self._events_fired += 1
             return True
@@ -161,26 +233,48 @@ class Simulator:
         """Run until the queue drains, ``until`` is reached, or
         ``max_events`` events have fired.
 
-        When ``until`` is given, the clock is advanced to exactly
-        ``until`` even if the last event fires earlier.
+        ``max_events`` counts events that actually fired; skipping
+        cancelled handles does not consume the budget.  When ``until``
+        is given, the clock is advanced to exactly ``until`` even if
+        the last event fires earlier.
         """
         if self._running:
             raise SimulatorError("run() is not reentrant")
         self._running = True
         fired = 0
+        fast_fired = 0  # _events_fired owed by the inlined fast path
+        heap = self._heap
+        heappop = heapq.heappop
+        observers = self._observers
         try:
-            while self._heap:
-                head = self._heap[0]
-                if head.cancelled:
-                    heapq.heappop(self._heap)
+            while heap:
+                head = heap[0]
+                handle = head[2]
+                if handle.cancelled:
+                    heappop(heap)
+                    self._cancelled_in_heap -= 1
                     continue
-                if until is not None and head.time > until:
+                if until is not None and head[0] > until:
                     break
                 if max_events is not None and fired >= max_events:
                     break
-                self.step()
-                fired += 1
+                if self.sanitizer is None and not observers:
+                    # Fast path: `head` is the verified-live heap top,
+                    # so pop and fire inline, skipping instrumentation
+                    # dispatch and the step() re-scan.
+                    heappop(heap)
+                    self.now = head[0]
+                    callback, args = handle.callback, handle.args
+                    handle.cancelled = True
+                    handle.callback = _noop
+                    handle.args = ()
+                    callback(*args)
+                    fast_fired += 1
+                    fired += 1
+                elif self.step():
+                    fired += 1
         finally:
+            self._events_fired += fast_fired
             self._running = False
         if until is not None and self.now < until:
             self.now = until
@@ -188,15 +282,39 @@ class Simulator:
     # ------------------------------------------------------------------
     # Introspection
     # ------------------------------------------------------------------
+    def peek_time(self) -> Optional[float]:
+        """Time of the next pending event, or ``None`` when drained.
+
+        Pops dead (cancelled) heap heads as a side effect, so callers
+        driving their own step loop never stall on lazy-deleted
+        entries.
+        """
+        heap = self._heap
+        while heap:
+            head = heap[0]
+            if head[2].cancelled:
+                heapq.heappop(heap)
+                self._cancelled_in_heap -= 1
+                continue
+            return head[0]
+        return None
+
     @property
     def pending_events(self) -> int:
-        """Number of scheduled, not-yet-cancelled events."""
-        return sum(1 for h in self._heap if not h.cancelled)
+        """Number of scheduled, not-yet-cancelled events (O(1): the
+        engine maintains a count of dead entries awaiting lazy
+        deletion instead of scanning the heap)."""
+        return len(self._heap) - self._cancelled_in_heap
 
     @property
     def events_fired(self) -> int:
         """Total number of events executed so far."""
         return self._events_fired
+
+    @property
+    def compactions(self) -> int:
+        """Heap compactions performed so far (perf introspection)."""
+        return self._compactions
 
     def __repr__(self) -> str:  # pragma: no cover - debug helper
         return (f"Simulator(now={self.now:.6g}, pending="

@@ -1,0 +1,137 @@
+"""Heap compaction, lazy deletion and fast-path equivalence tests.
+
+The engine promises that its performance machinery — lazy-deletion
+compaction, the observer-free fast path in ``run()`` — is invisible to
+the simulation: pop order is a pure function of ``(time, seq)``, so the
+event trace must be bit-identical with the machinery on or off.
+"""
+
+import pytest
+
+from repro.sim.engine import COMPACT_MIN_DEAD, Simulator
+
+
+def _noop():
+    pass
+
+
+def _setup_churn(sim, chains=50):
+    """Timer-churn workload: every tick cancels and re-arms a 30 s
+    timeout (the T-Chain retransmit-timer pattern that populates the
+    heap with dead entries)."""
+    def work(state):
+        if state["timeout"] is not None:
+            state["timeout"].cancel()
+        state["timeout"] = sim.schedule(30.0, _noop)
+        sim.schedule(0.01 + sim.rng.random() * 0.01, work, state)
+
+    for _ in range(chains):
+        sim.schedule(sim.rng.random() * 0.01, work, {"timeout": None})
+
+
+def _churn_trace(sim, max_events=5000):
+    _setup_churn(sim)
+    trace = []
+    sim.add_observer(lambda handle: trace.append((handle.time,
+                                                  handle.seq)))
+    sim.run(max_events=max_events)
+    return trace
+
+
+class TestCompaction:
+    def test_trace_identical_with_and_without_compaction(self):
+        trace_on = _churn_trace(Simulator(seed=42, compact=True))
+        trace_off = _churn_trace(Simulator(seed=42, compact=False))
+        assert trace_on == trace_off
+
+    def test_compaction_triggers_under_churn(self):
+        sim = Simulator(seed=42, compact=True)
+        _setup_churn(sim)
+        sim.run(max_events=20_000)
+        assert sim.compactions > 0
+
+    def test_compaction_disabled_never_compacts(self):
+        sim = Simulator(seed=42, compact=False)
+        _setup_churn(sim)
+        sim.run(max_events=20_000)
+        assert sim.compactions == 0
+
+    def test_pending_events_correct_across_compaction(self):
+        sim = Simulator()
+        n = 2 * COMPACT_MIN_DEAD
+        handles = [sim.schedule(i + 1.0, _noop) for i in range(n)]
+        cancelled = COMPACT_MIN_DEAD + 10
+        for handle in handles[:cancelled]:
+            handle.cancel()
+        assert sim.compactions >= 1
+        assert sim.pending_events == n - cancelled
+
+    def test_schedule_during_run_after_compaction_fires(self):
+        # Regression guard: compaction must rebuild the heap *in
+        # place* — the run loop holds an alias to the list, so a
+        # rebound list would silently orphan every later schedule().
+        sim = Simulator(seed=7, compact=True)
+        _setup_churn(sim, chains=20)
+        sim.run(max_events=30_000)
+        assert sim.compactions > 0
+        assert sim.events_fired == 30_000
+
+
+class TestLazyDeletion:
+    def test_pending_events_excludes_cancelled_o1(self):
+        sim = Simulator()
+        handles = [sim.schedule(i + 1.0, _noop) for i in range(100)]
+        for handle in handles[::2]:
+            handle.cancel()
+        assert sim.pending_events == 50
+        sim.run()
+        assert sim.pending_events == 0
+
+    def test_max_events_counts_only_fired(self):
+        sim = Simulator()
+        handles = [sim.schedule(i + 1.0, _noop) for i in range(10)]
+        for handle in handles[:5]:
+            handle.cancel()
+        sim.run(max_events=10)
+        assert sim.events_fired == 5
+
+    def test_cancelled_heads_do_not_consume_budget(self):
+        sim = Simulator()
+        doomed = [sim.schedule(1.0, _noop) for _ in range(3)]
+        fired = []
+        sim.schedule(2.0, fired.append, 1)
+        sim.schedule(3.0, fired.append, 2)
+        for handle in doomed:
+            handle.cancel()
+        sim.run(max_events=2)
+        assert fired == [1, 2]
+
+    def test_peek_time_skips_cancelled_heads(self):
+        sim = Simulator()
+        doomed = sim.schedule(1.0, _noop)
+        sim.schedule(2.0, _noop)
+        doomed.cancel()
+        assert sim.peek_time() == pytest.approx(2.0)
+
+    def test_peek_time_empty(self):
+        sim = Simulator()
+        assert sim.peek_time() is None
+        handle = sim.schedule(1.0, _noop)
+        handle.cancel()
+        assert sim.peek_time() is None
+
+
+class TestFastPath:
+    def test_fast_path_equivalent_to_observed_path(self):
+        # No observer -> run() inlines pop+fire; an observer forces
+        # the step() path.  Clock, counters and rng stream must agree.
+        def final_state(observed):
+            sim = Simulator(seed=3)
+            _setup_churn(sim)
+            if observed:
+                sim.add_observer(lambda handle: None)
+            sim.run(max_events=5000)
+            return (sim.now, sim.events_fired, sim.pending_events,
+                    sim.rng.random())
+
+        assert final_state(observed=False) == final_state(observed=True)

@@ -133,3 +133,45 @@ class TestCancellation:
         sim.schedule(10.0, lambda: None)
         sim.run()
         assert up.utilization() == pytest.approx(1.0)
+
+
+class TestSwapPopRemoval:
+    """The transfer list uses O(1) swap-pop removal, which scrambles
+    its physical order; every externally visible surface must still
+    present transfers in start order."""
+
+    def test_in_flight_in_start_order_after_middle_cancel(self):
+        sim, up = make_uplink(slots=4)
+        first = up.try_start(100, lambda t: None)
+        middle = up.try_start(100, lambda t: None)
+        last = up.try_start(100, lambda t: None)
+        middle.cancel()
+        assert up.in_flight() == [first, last]
+
+    def test_interleaved_cancels_keep_accounting_consistent(self):
+        sim, up = make_uplink(slots=4)
+        transfers = [up.try_start(100, lambda t: None)
+                     for _ in range(4)]
+        transfers[1].cancel()
+        transfers[3].cancel()
+        assert up.in_flight() == [transfers[0], transfers[2]]
+        assert up.busy_slots == 2
+        sim.run()
+        assert up.in_flight() == []
+        assert up.busy_slots == 0
+        assert up.kb_sent == pytest.approx(200.0)
+
+    def test_close_after_scramble_counts_partials_deterministically(self):
+        # Cancelling the first transfer swap-pops the tail into its
+        # slot; close() must still sweep the survivors in start order
+        # so kb_sent accumulates in a bit-stable order.
+        sim, up = make_uplink(capacity=1000.0, slots=4)
+        doomed = up.try_start(100.0, lambda t: None)
+        up.try_start(100.0, lambda t: None)
+        up.try_start(100.0, lambda t: None)
+        doomed.cancel()
+        sim.schedule(1.0, up.close)
+        sim.run()
+        # Two survivors, 31.25 KB/s per slot, closed at t=1.
+        assert up.kb_sent == pytest.approx(62.5)
+        assert up.in_flight() == []

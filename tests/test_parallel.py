@@ -1,0 +1,166 @@
+"""Tests for the parallel experiment executor.
+
+The contract under test (docs/PERF.md): a sweep executed through
+``run_specs`` is **bit-identical** to the serial comprehension — same
+results, in spec order, for any worker count — and a dead worker
+surfaces as a clear error instead of a hang.
+"""
+
+import os
+import time
+from dataclasses import replace
+
+import pytest
+
+from repro.experiments.parallel import (
+    ENV_WORKERS,
+    ChaosSpec,
+    ParallelExecutionError,
+    RunSpec,
+    RunSummary,
+    _map_ordered,
+    execute_spec,
+    resolve_workers,
+    run_chaos_specs,
+    run_specs,
+)
+from repro.experiments.runner import run_many, run_swarm
+
+SPEC = RunSpec(protocol="tchain", leechers=10, pieces=6,
+               freerider_fraction=0.2)
+
+
+def _die(_x):
+    """Worker-crash stand-in: kills the process, bypassing Python
+    exception handling entirely (module-level so it pickles)."""
+    os._exit(13)
+
+
+def _boom(_x):
+    raise ValueError("ordinary exception, not a dead worker")
+
+
+class TestResolveWorkers:
+    def test_default_is_serial(self, monkeypatch):
+        monkeypatch.delenv(ENV_WORKERS, raising=False)
+        assert resolve_workers() == 1
+
+    def test_env_knob(self, monkeypatch):
+        monkeypatch.setenv(ENV_WORKERS, "3")
+        assert resolve_workers() == 3
+
+    def test_explicit_arg_overrides_env(self, monkeypatch):
+        monkeypatch.setenv(ENV_WORKERS, "3")
+        assert resolve_workers(2) == 2
+
+    def test_zero_means_one_per_cpu(self):
+        assert resolve_workers(0) == (os.cpu_count() or 1)
+
+    def test_non_integer_env_rejected(self, monkeypatch):
+        monkeypatch.setenv(ENV_WORKERS, "many")
+        with pytest.raises(ParallelExecutionError):
+            resolve_workers()
+
+    def test_negative_rejected(self):
+        with pytest.raises(ParallelExecutionError):
+            resolve_workers(-1)
+
+
+class TestRunSpec:
+    def test_from_kwargs_roundtrip(self):
+        spec = RunSpec.from_kwargs(protocol="bittorrent", seed=5,
+                                   leechers=8, real_crypto=True)
+        assert spec.protocol == "bittorrent"
+        assert spec.config_overrides == (("real_crypto", True),)
+        kwargs = spec.kwargs()
+        assert kwargs["seed"] == 5
+        assert kwargs["real_crypto"] is True
+
+    def test_unspecable_arguments_rejected(self):
+        for name in ("setup", "config", "fault_plan"):
+            with pytest.raises(ParallelExecutionError):
+                RunSpec.from_kwargs(**{name: object()})
+
+    def test_specs_hashable(self):
+        assert len({SPEC, replace(SPEC, seed=SPEC.seed)}) == 1
+
+
+class TestBitIdentical:
+    def test_parallel_matches_serial(self):
+        specs = [replace(SPEC, seed=seed) for seed in range(3)]
+        serial = run_specs(specs, workers=1)
+        parallel = run_specs(specs, workers=2)
+        assert serial == parallel
+
+    def test_spec_order_preserved(self):
+        # The heavier run is submitted first, so with two workers it
+        # finishes *after* the light one; results must still come back
+        # in spec order.
+        specs = [replace(SPEC, seed=0, leechers=16, pieces=12),
+                 replace(SPEC, seed=1, leechers=4, pieces=4)]
+        out = run_specs(specs, workers=2)
+        assert [s.seed for s in out] == [0, 1]
+        assert [s.config.n_pieces for s in out] == [12, 4]
+
+    def test_summary_matches_live_result(self):
+        kwargs = dict(protocol="tchain", leechers=10, pieces=6,
+                      seed=2, freerider_fraction=0.2)
+        result = run_swarm(**kwargs)
+        summary = execute_spec(RunSpec(**kwargs))
+        assert isinstance(summary, RunSummary)
+        assert summary == result.summary()
+        assert (summary.mean_completion_time("leecher")
+                == result.metrics.mean_completion_time("leecher"))
+        assert (summary.completion_rate("freerider")
+                == result.metrics.completion_rate("freerider"))
+        assert summary.optimal_time() == pytest.approx(
+            result.optimal_time())
+        assert summary.events_fired == result.swarm.sim.events_fired
+
+    def test_run_many_parallel_matches_serial(self):
+        kwargs = dict(protocol="tchain", leechers=8, pieces=6)
+        serial = run_many(range(2), **kwargs)
+        parallel = run_many(range(2), workers=2, **kwargs)
+        assert [r.summary() for r in serial] == parallel
+
+    def test_wall_time_excluded_from_equality(self):
+        summary = execute_spec(SPEC)
+        slower = replace(summary, wall_time_s=summary.wall_time_s + 9)
+        assert summary == slower
+
+
+class TestWorkerDeath:
+    def test_dead_worker_raises_clear_error(self):
+        with pytest.raises(ParallelExecutionError,
+                           match="worker process died"):
+            _map_ordered(_die, [1, 2], 2)
+
+    def test_ordinary_exception_propagates_as_itself(self):
+        with pytest.raises(ValueError, match="ordinary exception"):
+            _map_ordered(_boom, [1, 2], 2)
+
+
+class TestChaosSweep:
+    def test_chaos_parallel_matches_serial(self):
+        specs = [ChaosSpec(leechers=8, pieces=6, seed=seed, crashes=1,
+                           max_time=400.0) for seed in (0, 1)]
+        serial = run_chaos_specs(specs, workers=1)
+        parallel = run_chaos_specs(specs, workers=2)
+        assert serial == parallel
+        assert [c.seed for c in serial] == [0, 1]
+
+
+@pytest.mark.skipif((os.cpu_count() or 1) < 4,
+                    reason="speedup assertion needs >= 4 CPUs")
+class TestSpeedup:
+    def test_four_workers_at_least_twice_as_fast(self):
+        specs = [replace(SPEC, seed=seed, leechers=20, pieces=12)
+                 for seed in range(8)]
+        start = time.perf_counter()
+        serial = run_specs(specs, workers=1)
+        serial_s = time.perf_counter() - start
+        start = time.perf_counter()
+        parallel = run_specs(specs, workers=4)
+        parallel_s = time.perf_counter() - start
+        assert serial == parallel
+        assert parallel_s < serial_s / 2

@@ -192,7 +192,7 @@ class TestEngineInvariants:
         from repro.sim.engine import EventHandle
         import heapq
         stale = EventHandle(0.5, 999, lambda: None, ())
-        heapq.heappush(sim._heap, stale)
+        heapq.heappush(sim._heap, (stale.time, stale.seq, stale))
         with pytest.raises(SanitizerError, match="monotonicity"):
             sim.step()
 

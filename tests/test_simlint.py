@@ -280,6 +280,46 @@ class TestSL007FaultsDirectRng:
         assert [f for f in findings if f.rule == "SL007"] == []
 
 
+class TestSL008AdHocParallelism:
+    def test_executor_import_flagged(self):
+        assert rules_of(
+            "from concurrent.futures import ProcessPoolExecutor\n",
+            path="src/repro/experiments/runner.py") == ["SL008"]
+
+    def test_multiprocessing_import_flagged(self):
+        assert rules_of("import multiprocessing\n",
+                        path="src/repro/bt/swarm.py") == ["SL008"]
+        assert rules_of("from multiprocessing import Pool\n",
+                        path="src/repro/bt/swarm.py") == ["SL008"]
+
+    def test_attribute_reference_flagged(self):
+        assert rules_of("""
+            import concurrent.futures as cf
+            pool = cf.ProcessPoolExecutor(4)
+        """, path="src/repro/analysis/stats.py") == ["SL008"]
+
+    def test_choke_point_module_exempt(self):
+        assert rules_of("""
+            from concurrent.futures import ProcessPoolExecutor
+            import multiprocessing
+        """, path="src/repro/experiments/parallel.py") == []
+
+    def test_other_parallel_named_file_not_exempt(self):
+        assert rules_of(
+            "import multiprocessing\n",
+            path="src/repro/net/parallel.py") == ["SL008"]
+
+    def test_thread_pool_clean(self):
+        assert rules_of(
+            "from concurrent.futures import ThreadPoolExecutor\n",
+            path="src/repro/analysis/stats.py") == []
+
+    def test_real_parallel_module_is_only_user(self):
+        src_root = os.path.join(os.path.dirname(__file__), "..", "src")
+        findings = lint_paths([src_root])
+        assert [f for f in findings if f.rule == "SL008"] == []
+
+
 class TestSuppression:
     def test_line_suppression(self):
         assert rules_of(

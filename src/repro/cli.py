@@ -117,6 +117,27 @@ def build_parser() -> argparse.ArgumentParser:
                         help="ignore [tool.simlint] in pyproject.toml")
     lint_p.add_argument("--list-rules", action="store_true",
                         help="print the rule catalogue and exit")
+    lint_p.add_argument("--deep", action="store_true",
+                        help="whole-program passes: interprocedural "
+                             "nondeterminism taint (SL101-SL104) and "
+                             "protocol conformance (SL110-SL112)")
+    lint_p.add_argument("--format", choices=("text", "json", "sarif"),
+                        default="text",
+                        help="report format (default: text)")
+    lint_p.add_argument("--baseline", metavar="PATH",
+                        help="JSON baseline of known findings to "
+                             "tolerate (staged adoption)")
+    lint_p.add_argument("--write-baseline", action="store_true",
+                        help="write the current findings to the "
+                             "--baseline file instead of failing")
+    lint_p.add_argument("--strict-suppressions", action="store_true",
+                        help="treat unused-suppression warnings "
+                             "(SL009) as errors")
+    lint_p.add_argument("--cache", metavar="PATH",
+                        help="findings cache for --deep (default: "
+                             ".simlint-cache.json)")
+    lint_p.add_argument("--no-cache", action="store_true",
+                        help="disable the --deep findings cache")
 
     chaos_p = sub.add_parser(
         "chaos", help="sanitized swarm run under seeded fault injection")
@@ -328,8 +349,10 @@ def cmd_models(args) -> int:
 
 
 def cmd_lint(args) -> int:
-    from repro.devtools import (RULES, SimlintConfig, format_findings,
-                                lint_paths, load_config)
+    from repro.devtools import (RULES, SimlintConfig, lint_source,
+                                load_config)
+    from repro.devtools import output as lint_output
+    from repro.devtools.analyzer import SuppressionIndex, iter_python_files
     if args.list_rules:
         rows = [(rule.id, rule.name, rule.description)
                 for rule in (RULES[rid] for rid in sorted(RULES))]
@@ -354,10 +377,56 @@ def cmd_lint(args) -> int:
         print(f"error: no such path(s): {', '.join(missing)}",
               file=sys.stderr)
         return 2
-    findings = lint_paths(paths, enabled=config.enabled_rules(),
-                          exclude=config.exclude)
-    print(format_findings(findings))
-    return 1 if findings else 0
+    enabled = sorted(config.enabled_rules())
+
+    if args.deep:
+        from repro.devtools.deep import DEFAULT_CACHE, run_deep
+        cache_path = None if args.no_cache else (args.cache
+                                                 or DEFAULT_CACHE)
+        report = run_deep(paths, enabled=enabled,
+                          exclude=config.exclude, cache_path=cache_path)
+        findings = report.findings
+    else:
+        findings = []
+        for path in iter_python_files(paths, exclude=config.exclude):
+            with open(path, "r", encoding="utf-8") as handle:
+                source = handle.read()
+            index = SuppressionIndex(path, source.splitlines())
+            kept = lint_source(source, path=path, enabled=enabled,
+                               suppressions=index)
+            findings.extend(kept)
+            broken = kept and kept[0].rule == "SL000"
+            if "SL009" in enabled and not broken:
+                findings.extend(index.filter(index.unused_findings()))
+        findings.sort(key=lambda f: (f.path, f.line, f.col, f.rule))
+
+    if args.write_baseline:
+        target = args.baseline or "simlint-baseline.json"
+        lint_output.write_baseline(target, [
+            f for f in findings
+            if lint_output.severity_of(f) == "error"])
+        print(f"simlint: baseline written to {target}")
+        return 0
+    baselined = 0
+    if args.baseline:
+        if not os.path.isfile(args.baseline):
+            print(f"error: no such baseline: {args.baseline}",
+                  file=sys.stderr)
+            return 2
+        findings, baselined = lint_output.apply_baseline(
+            findings, lint_output.load_baseline(args.baseline))
+
+    print(lint_output.RENDERERS[args.format](findings, baselined))
+    if lint_output.in_github_actions():
+        for line in lint_output.github_annotations(findings):
+            print(line)
+    errors = sum(1 for f in findings
+                 if lint_output.severity_of(f) == "error")
+    if errors:
+        return 1
+    if findings and args.strict_suppressions:
+        return 1
+    return 0
 
 
 def cmd_chaos(args) -> int:
@@ -413,6 +482,14 @@ def cmd_bench(args) -> int:
          f"{par['speedup']:.2f}x vs serial"),
         ("parallel == serial (bit-identical)", par["identical"]),
     ])
+    lint = report["lint_deep"]
+    if "skipped" not in lint:
+        rows.extend([
+            (f"lint --deep cold ({lint['files']} files)",
+             f"{lint['cold_s']:.3f}s"),
+            ("lint --deep cached",
+             f"{lint['cached_s']:.3f}s ({lint['speedup']}x)"),
+        ])
     print(format_table(["benchmark", "value"], rows,
                        title="repro bench"
                              + (" --quick" if args.quick else "")))

@@ -1,10 +1,18 @@
 """Developer tooling guarding the determinism contract.
 
-Two complementary halves:
+Three complementary layers:
 
 * :mod:`repro.devtools.rules` / :mod:`repro.devtools.analyzer` — the
-  ``simlint`` static analyzer (``repro lint``): AST rules SL001-SL007
-  catching nondeterminism and protocol hazards at review time.
+  ``simlint`` static analyzer (``repro lint``): per-file AST rules
+  SL001-SL009 catching nondeterminism and protocol hazards at review
+  time.
+* :mod:`repro.devtools.callgraph` / :mod:`repro.devtools.taint` /
+  :mod:`repro.devtools.protocol_spec` / :mod:`repro.devtools.deep` —
+  the whole-program layer (``repro lint --deep``): interprocedural
+  nondeterminism taint (SL101-SL104) and T-Chain exchange-lifecycle
+  conformance (SL110-SL112), with a content-hash findings cache,
+  baseline support and JSON/SARIF output
+  (:mod:`repro.devtools.output`).
 * :mod:`repro.devtools.sanitizer` — the runtime simulation sanitizer
   (``Simulator(sanitize=True)``): shadow-state invariant checks on
   live runs.
@@ -14,11 +22,13 @@ syntax.
 """
 
 from repro.devtools.analyzer import (
+    SuppressionIndex,
     format_findings,
     iter_python_files,
     lint_file,
     lint_paths,
     lint_source,
+    raw_findings,
 )
 from repro.devtools.config import SimlintConfig, load_config
 from repro.devtools.rules import RULES, Finding, Rule, all_rule_ids
@@ -31,6 +41,7 @@ __all__ = [
     "SanitizerError",
     "SimlintConfig",
     "SimulationSanitizer",
+    "SuppressionIndex",
     "all_rule_ids",
     "format_findings",
     "iter_python_files",
@@ -38,4 +49,5 @@ __all__ = [
     "lint_paths",
     "lint_source",
     "load_config",
+    "raw_findings",
 ]

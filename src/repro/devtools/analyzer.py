@@ -18,6 +18,10 @@ match but reviewers should insist on it.
 
 from __future__ import annotations
 
+# simlint: disable-file=SL009 -- the module docstring above shows
+# suppression-comment syntax examples, which the raw line scan cannot
+# tell apart from live suppressions.
+
 import ast
 import os
 import re
@@ -30,41 +34,104 @@ _SUPPRESS_RE = re.compile(
     r"([A-Za-z0-9_,\s]+?)\s*(?:--.*)?$")
 
 
-def _parse_suppressions(lines: Sequence[str]):
-    """(file-wide rule ids, {line number -> rule ids}).
+class SuppressionIndex:
+    """The suppression comments of one file, with usage tracking.
 
-    ``{"all"}`` in a set suppresses every rule at that scope.
+    Every suppression that :meth:`filter` actually applies to a
+    finding is marked *used*; :meth:`unused_findings` turns the
+    leftovers into SL009 diagnostics — a stale ``disable=`` comment
+    hides nothing today but will silently swallow the next real
+    finding on that line.
     """
-    file_wide: Set[str] = set()
-    by_line: Dict[int, Set[str]] = {}
-    for lineno, line in enumerate(lines, start=1):
-        if "simlint" not in line:
-            continue
-        match = _SUPPRESS_RE.search(line)
-        if match is None:
-            continue
-        kind, spec = match.group(1), match.group(2)
-        rules = {r.strip().upper() if r.strip().lower() != "all" else "all"
-                 for r in spec.split(",") if r.strip()}
-        if kind == "disable-file":
-            file_wide |= rules
+
+    def __init__(self, path: str, lines: Sequence[str]):
+        self.path = path
+        #: (lineno, kind, rule-or-"all"); kind is "line" or "file"
+        self.declared: List[tuple] = []
+        self._used: Set[tuple] = set()
+        self.file_wide: Set[str] = set()
+        self.by_line: Dict[int, Set[str]] = {}
+        for lineno, line in enumerate(lines, start=1):
+            if "simlint" not in line:
+                continue
+            match = _SUPPRESS_RE.search(line)
+            if match is None:
+                continue
+            kind, spec = match.group(1), match.group(2)
+            rules = {r.strip().upper()
+                     if r.strip().lower() != "all" else "all"
+                     for r in spec.split(",") if r.strip()}
+            if kind == "disable-file":
+                self.file_wide |= rules
+                scope = "file"
+            else:
+                self.by_line.setdefault(lineno, set()).update(rules)
+                scope = "line"
+            for rule in rules:
+                self.declared.append((lineno, scope, rule))
+
+    def suppresses(self, finding: Finding) -> bool:
+        """True when a comment hides ``finding`` (marks it used)."""
+        hit = None
+        if "all" in self.file_wide:
+            hit = ("file", "all")
+        elif finding.rule in self.file_wide:
+            hit = ("file", finding.rule)
         else:
-            by_line.setdefault(lineno, set()).update(rules)
-    return file_wide, by_line
-
-
-def _suppressed(finding: Finding, file_wide: Set[str],
-                by_line: Dict[int, Set[str]]) -> bool:
-    if "all" in file_wide or finding.rule in file_wide:
+            line_rules = self.by_line.get(finding.line, ())
+            if "all" in line_rules:
+                hit = ("line", "all", finding.line)
+            elif finding.rule in line_rules:
+                hit = ("line", finding.rule, finding.line)
+        if hit is None:
+            return False
+        self._used.add(hit)
         return True
-    line_rules = by_line.get(finding.line, ())
-    return "all" in line_rules or finding.rule in line_rules
+
+    def filter(self, findings: Iterable[Finding]) -> List[Finding]:
+        return [f for f in findings if not self.suppresses(f)]
+
+    def unused_findings(self) -> List[Finding]:
+        """SL009 diagnostics for suppressions that matched nothing."""
+        out = []
+        for lineno, scope, rule in self.declared:
+            key = ("file", rule) if scope == "file" \
+                else ("line", rule, lineno)
+            if key in self._used:
+                continue
+            kind = "disable-file" if scope == "file" else "disable"
+            out.append(Finding(
+                rule="SL009", path=self.path, line=lineno, col=1,
+                message=(f"unused suppression `# simlint: "
+                         f"{kind}={rule}` — no {rule} finding here; "
+                         f"remove it before it hides a real one")))
+        return out
 
 
 def lint_source(source: str, path: str = "<string>",
-                enabled: Optional[Iterable[str]] = None) -> List[Finding]:
+                enabled: Optional[Iterable[str]] = None,
+                suppressions: Optional[SuppressionIndex] = None,
+                ) -> List[Finding]:
     """Lint one source string; returns unsuppressed findings sorted by
-    location.  A syntax error becomes a single ``SL000`` finding."""
+    location.  A syntax error becomes a single ``SL000`` finding.
+
+    Passing a :class:`SuppressionIndex` lets the caller accumulate
+    suppression *usage* across several passes (the deep driver filters
+    its own findings through the same index before asking it for
+    unused-suppression diagnostics).
+    """
+    raw = raw_findings(source, path, enabled)
+    if raw and raw[0].rule == "SL000":
+        return raw
+    if suppressions is None:
+        suppressions = SuppressionIndex(path, source.splitlines())
+    return suppressions.filter(raw)
+
+
+def raw_findings(source: str, path: str = "<string>",
+                 enabled: Optional[Iterable[str]] = None
+                 ) -> List[Finding]:
+    """Per-file rule findings with *no* suppression filtering."""
     rule_ids = sorted(enabled) if enabled is not None else sorted(RULES)
     try:
         tree = ast.parse(source, filename=path)
@@ -73,15 +140,12 @@ def lint_source(source: str, path: str = "<string>",
                         line=exc.lineno or 1, col=(exc.offset or 0) + 1,
                         message=f"syntax error: {exc.msg}")]
     ctx = FileContext(path, source, tree)
-    file_wide, by_line = _parse_suppressions(ctx.lines)
     findings: Set[Finding] = set()
     for rule_id in rule_ids:
         rule = RULES.get(rule_id)
         if rule is None:
             continue
-        for finding in rule.check(ctx):
-            if not _suppressed(finding, file_wide, by_line):
-                findings.add(finding)
+        findings.update(rule.check(ctx))
     return sorted(findings, key=lambda f: (f.path, f.line, f.col, f.rule))
 
 

@@ -1,0 +1,455 @@
+"""Project-wide symbol table and call graph for ``simlint --deep``.
+
+The per-file rules (:mod:`repro.devtools.rules`) see one module at a
+time, so a hazard laundered through a helper call — ``delay =
+jitter()`` where ``jitter`` lives two modules away and reads the wall
+clock — is invisible to them.  The deep analyses
+(:mod:`repro.devtools.taint`, :mod:`repro.devtools.protocol_spec`)
+need to follow calls across modules, which requires:
+
+* a **module map** — every linted file named by the dotted module the
+  import system would give it (``src/repro/bt/peer.py`` →
+  ``repro.bt.peer``);
+* a **symbol table** — every function and method, keyed by qualified
+  name (``repro.bt.peer.Peer.pump``);
+* **call resolution** — for each call site, the qualified name of the
+  target when it can be determined statically: direct names through
+  the file's imports, ``self.method`` through the class hierarchy,
+  ``Class.method``/``Class()`` constructors, and — because the event
+  loop is the backbone of this codebase — the *callback* argument of
+  ``schedule``/``schedule_at``/``call_now``, which is a call that
+  merely happens later.
+
+Resolution is deliberately conservative-but-useful: an attribute call
+on an unknown receiver resolves only when exactly one class in the
+project defines a method of that name (unique-method heuristic); an
+ambiguous or out-of-project target stays unresolved and the deep
+passes treat it as opaque.  Precision errs toward *missing* exotic
+flows rather than inventing them — the per-file rules still cover the
+direct hazards.
+"""
+
+from __future__ import annotations
+
+import ast
+import os
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence, Set, Tuple
+
+#: Path components that anchor dotted module names.  A file under any
+#: of these roots is named relative to the root; anything else gets a
+#: pseudo-module from its path (tests, examples, ad-hoc scripts).
+_SOURCE_ROOTS = ("src",)
+
+
+def module_name_for(path: str) -> str:
+    """The dotted module name a file would import as.
+
+    ``src/repro/bt/peer.py`` → ``repro.bt.peer``;
+    ``tests/test_x.py`` → ``tests.test_x`` (a pseudo-module: good
+    enough to key the symbol table, never actually imported).
+    """
+    norm = os.path.normpath(path).replace(os.sep, "/")
+    parts = [p for p in norm.split("/") if p not in ("", ".")]
+    for root in _SOURCE_ROOTS:
+        if root in parts:
+            parts = parts[parts.index(root) + 1:]
+            break
+    if parts and parts[-1].endswith(".py"):
+        parts[-1] = parts[-1][:-3]
+    if parts and parts[-1] == "__init__":
+        parts = parts[:-1]
+    return ".".join(parts) or "<root>"
+
+
+@dataclass
+class FunctionInfo:
+    """One function or method definition in the project."""
+
+    qualname: str                 # module.Class.method or module.func
+    module: str
+    path: str
+    lineno: int
+    node: ast.AST                 # FunctionDef / AsyncFunctionDef
+    class_name: Optional[str] = None
+    #: positional parameter names, ``self``/``cls`` already dropped
+    params: Tuple[str, ...] = ()
+    #: resolved call sites: (callee qualname, line, via_schedule)
+    calls: List[Tuple[str, int, bool]] = field(default_factory=list)
+
+    @property
+    def name(self) -> str:
+        return self.qualname.rsplit(".", 1)[-1]
+
+
+@dataclass
+class ClassInfo:
+    """One class definition: its methods and (textual) bases."""
+
+    qualname: str                 # module.Class
+    module: str
+    bases: Tuple[str, ...] = ()   # dotted source text of base exprs
+    methods: Dict[str, FunctionInfo] = field(default_factory=dict)
+
+
+#: Methods whose *callback argument* we resolve as an extra call edge.
+SCHEDULE_METHODS = {"schedule", "schedule_at", "call_now"}
+
+
+def _common_root(paths: Sequence[str]) -> Optional[str]:
+    """Deepest directory containing every file, or None."""
+    dirs = {os.path.dirname(os.path.abspath(p)) for p in paths}
+    if not dirs:
+        return None
+    try:
+        return os.path.commonpath(sorted(dirs))
+    except ValueError:  # pragma: no cover - mixed drives on Windows
+        return None
+
+
+def _dotted(node: ast.AST) -> Optional[str]:
+    parts: List[str] = []
+    while isinstance(node, ast.Attribute):
+        parts.append(node.attr)
+        node = node.value
+    if isinstance(node, ast.Name):
+        parts.append(node.id)
+        return ".".join(reversed(parts))
+    return None
+
+
+def _import_map(tree: ast.Module, module: str) -> Dict[str, str]:
+    """Local name → fully dotted origin, resolving relative imports
+    against ``module``'s package (``from . import x`` in
+    ``repro.bt.peer`` binds ``x`` to ``repro.bt.x``)."""
+    mapping: Dict[str, str] = {}
+    for node in ast.walk(tree):
+        if isinstance(node, ast.Import):
+            for alias in node.names:
+                mapping[alias.asname or alias.name.split(".")[0]] = \
+                    alias.name
+        elif isinstance(node, ast.ImportFrom):
+            if node.level == 0:
+                base = node.module or ""
+            else:
+                anchor = module.split(".")[:-node.level]
+                base = ".".join(anchor)
+                if node.module:
+                    base = f"{base}.{node.module}" if base \
+                        else node.module
+            for alias in node.names:
+                origin = f"{base}.{alias.name}" if base else alias.name
+                mapping[alias.asname or alias.name] = origin
+    return mapping
+
+
+def iter_own_nodes(info: "FunctionInfo"):
+    """AST nodes belonging to ``info`` itself.
+
+    For the module pseudo-function this is every top-level statement
+    *except* function/class definitions (those are indexed on their
+    own); for a real function it is the whole body, nested closures
+    included (closures are not indexed separately, so their hazards
+    are attributed to the enclosing definition).
+    """
+    if info.name == "<module>":
+        for stmt in info.node.body:
+            if isinstance(stmt, (ast.FunctionDef, ast.AsyncFunctionDef,
+                                 ast.ClassDef)):
+                continue
+            yield from ast.walk(stmt)
+    else:
+        for stmt in info.node.body:
+            for sub in ast.walk(stmt):
+                yield sub
+
+
+class ProjectIndex:
+    """Symbol table + call graph over a set of parsed files."""
+
+    def __init__(self) -> None:
+        #: path → parsed module
+        self.trees: Dict[str, ast.Module] = {}
+        #: path → source text
+        self.sources: Dict[str, str] = {}
+        #: path → dotted module name
+        self.modules: Dict[str, str] = {}
+        #: dotted module name → path
+        self.module_paths: Dict[str, str] = {}
+        #: qualname → FunctionInfo (functions and methods)
+        self.functions: Dict[str, FunctionInfo] = {}
+        #: module.Class qualname → ClassInfo
+        self.classes: Dict[str, ClassInfo] = {}
+        #: module → import map
+        self.imports: Dict[str, Dict[str, str]] = {}
+        #: method name → qualnames of every definition (for the
+        #: unique-method heuristic)
+        self._methods_by_name: Dict[str, List[str]] = {}
+
+    # ------------------------------------------------------------------
+    # Construction
+    # ------------------------------------------------------------------
+    @classmethod
+    def build(cls, files: Sequence[Tuple[str, str]]) -> "ProjectIndex":
+        """Index ``(path, source)`` pairs; unparsable files are skipped
+        (the per-file pass reports their syntax error)."""
+        index = cls()
+        index._common_root = _common_root([path for path, _ in files])
+        for path, source in files:
+            try:
+                tree = ast.parse(source, filename=path)
+            except SyntaxError:
+                continue
+            index._add_file(path, source, tree)
+        index._resolve_calls()
+        return index
+
+    def _module_name(self, path: str) -> str:
+        """Dotted module name; files outside any source root are named
+        relative to the file set's common directory, so a project
+        linted by absolute path (e.g. a tmp dir in tests) still gets
+        ``helpers`` rather than ``tmp.xyz.helpers`` and its intra-
+        project imports resolve."""
+        parts = [p for p in os.path.normpath(path)
+                 .replace(os.sep, "/").split("/") if p not in ("", ".")]
+        root = getattr(self, "_common_root", None)
+        if root and not any(r in parts for r in _SOURCE_ROOTS):
+            rel = os.path.relpath(path, root)
+            if not rel.startswith(".."):
+                return module_name_for(rel)
+        return module_name_for(path)
+
+    def _add_file(self, path: str, source: str,
+                  tree: ast.Module) -> None:
+        module = self._module_name(path)
+        self.trees[path] = tree
+        self.sources[path] = source
+        self.modules[path] = module
+        self.module_paths[module] = path
+        self.imports[module] = _import_map(tree, module)
+        # Module top-level code is modelled as a pseudo-function so
+        # taint sources/sinks at module scope participate too.
+        top = FunctionInfo(qualname=f"{module}.<module>", module=module,
+                           path=path, lineno=1, node=tree)
+        self.functions[top.qualname] = top
+        for node in tree.body:
+            if isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef)):
+                self._add_function(module, path, node, class_name=None)
+            elif isinstance(node, ast.ClassDef):
+                self._add_class(module, path, node)
+
+    def _add_function(self, module: str, path: str, node,
+                      class_name: Optional[str]) -> None:
+        if class_name is None:
+            qualname = f"{module}.{node.name}"
+        else:
+            qualname = f"{module}.{class_name}.{node.name}"
+        args = list(node.args.posonlyargs) + list(node.args.args)
+        params = tuple(a.arg for a in args)
+        if class_name is not None and params \
+                and not any(isinstance(d, ast.Name)
+                            and d.id == "staticmethod"
+                            for d in node.decorator_list):
+            params = params[1:]
+        info = FunctionInfo(qualname=qualname, module=module, path=path,
+                            lineno=node.lineno, node=node,
+                            class_name=class_name, params=params)
+        self.functions[qualname] = info
+        if class_name is not None:
+            self.classes[f"{module}.{class_name}"].methods[node.name] = \
+                info
+            self._methods_by_name.setdefault(node.name, []).append(
+                qualname)
+
+    def _add_class(self, module: str, path: str,
+                   node: ast.ClassDef) -> None:
+        bases = tuple(b for b in (_dotted(base) for base in node.bases)
+                      if b is not None)
+        cls_qual = f"{module}.{node.name}"
+        self.classes[cls_qual] = ClassInfo(qualname=cls_qual,
+                                           module=module, bases=bases)
+        for item in node.body:
+            if isinstance(item, (ast.FunctionDef, ast.AsyncFunctionDef)):
+                self._add_function(module, path, item,
+                                   class_name=node.name)
+
+    # ------------------------------------------------------------------
+    # Resolution
+    # ------------------------------------------------------------------
+    def resolve_class(self, module: str,
+                      name: str) -> Optional[ClassInfo]:
+        """A class named ``name`` as seen from ``module`` (local or
+        imported)."""
+        local = self.classes.get(f"{module}.{name}")
+        if local is not None:
+            return local
+        origin = self.imports.get(module, {}).get(name.split(".")[0])
+        if origin is None:
+            return None
+        if "." in name:
+            origin = f"{origin}.{name.split('.', 1)[1]}"
+        return self.classes.get(origin)
+
+    def _mro(self, cls: ClassInfo,
+             seen: Optional[Set[str]] = None) -> List[ClassInfo]:
+        """The class plus its in-project bases, depth-first."""
+        if seen is None:
+            seen = set()
+        if cls.qualname in seen:
+            return []
+        seen.add(cls.qualname)
+        out = [cls]
+        for base in cls.bases:
+            resolved = self.resolve_class(cls.module, base)
+            if resolved is not None:
+                out.extend(self._mro(resolved, seen))
+        return out
+
+    def resolve_method(self, cls: ClassInfo,
+                       name: str) -> Optional[FunctionInfo]:
+        """Look ``name`` up through the in-project class hierarchy."""
+        for klass in self._mro(cls):
+            info = klass.methods.get(name)
+            if info is not None:
+                return info
+        return None
+
+    def _unique_method(self, name: str) -> Optional[str]:
+        """The sole project-wide definition of method ``name``, if any.
+
+        When several *unrelated* classes define the name the call stays
+        unresolved; definitions that override each other within one
+        hierarchy do not count as ambiguity (any of them keeps the
+        chain going — we pick the first by qualname for determinism).
+        """
+        qualnames = self._methods_by_name.get(name)
+        if not qualnames:
+            return None
+        if len(qualnames) == 1:
+            return qualnames[0]
+        owners = []
+        for qualname in qualnames:
+            cls_qual = qualname.rsplit(".", 1)[0]
+            cls = self.classes.get(cls_qual)
+            if cls is None:
+                return None
+            owners.append(cls)
+        # All definitions within a single hierarchy?  Find roots.
+        root_names: Set[str] = set()
+        for cls in owners:
+            chain = self._mro(cls)
+            root_names.add(chain[-1].qualname)
+        if len(root_names) == 1:
+            return sorted(qualnames)[0]
+        return None
+
+    def resolve_callable(self, func: FunctionInfo,
+                         node: ast.AST) -> Optional[str]:
+        """Qualname of the function a callable expression denotes, as
+        seen from inside ``func`` — used both for call targets and for
+        ``schedule(...)`` callback arguments."""
+        module = func.module
+        imports = self.imports.get(module, {})
+        if isinstance(node, ast.Name):
+            name = node.id
+            origin = imports.get(name)
+            if origin is not None:
+                if origin in self.functions:
+                    return origin
+                if origin in self.classes:
+                    ctor = self.resolve_method(self.classes[origin],
+                                               "__init__")
+                    return ctor.qualname if ctor else None
+                return None
+            if f"{module}.{name}" in self.functions:
+                return f"{module}.{name}"
+            if f"{module}.{name}" in self.classes:
+                ctor = self.resolve_method(
+                    self.classes[f"{module}.{name}"], "__init__")
+                return ctor.qualname if ctor else None
+            return None
+        if not isinstance(node, ast.Attribute):
+            return None
+        attr = node.attr
+        base = node.value
+        if isinstance(base, ast.Name) and base.id in ("self", "cls") \
+                and func.class_name is not None:
+            cls = self.classes.get(f"{module}.{func.class_name}")
+            if cls is not None:
+                info = self.resolve_method(cls, attr)
+                if info is not None:
+                    return info.qualname
+            return self._unique_method(attr)
+        dotted = _dotted(node)
+        if dotted is not None:
+            head, _, rest = dotted.partition(".")
+            origin = imports.get(head)
+            if origin is not None and rest:
+                full = f"{origin}.{rest}"
+                if full in self.functions:
+                    return full
+                # module.Class(...) constructor
+                cls_qual, _, meth = full.rpartition(".")
+                if cls_qual in self.classes:
+                    info = self.resolve_method(self.classes[cls_qual],
+                                               meth)
+                    if info is not None:
+                        return info.qualname
+                if full in self.classes:
+                    ctor = self.resolve_method(self.classes[full],
+                                               "__init__")
+                    return ctor.qualname if ctor else None
+                if origin in self.module_paths:
+                    return None  # in-project module, unknown attr
+            # Class.method referenced directly
+            cls = self.resolve_class(module, head)
+            if cls is not None and rest:
+                info = self.resolve_method(cls, rest.split(".")[-1])
+                if info is not None:
+                    return info.qualname
+        # Unknown receiver: unique-method heuristic.
+        return self._unique_method(attr)
+
+    def _resolve_calls(self) -> None:
+        for info in list(self.functions.values()):
+            for sub in iter_own_nodes(info):
+                if not isinstance(sub, ast.Call):
+                    continue
+                target = self.resolve_callable(info, sub.func)
+                if target is not None:
+                    info.calls.append((target, sub.lineno, False))
+                cb = self._callback_argument(sub)
+                if cb is not None:
+                    cb_target = self.resolve_callable(info, cb)
+                    if cb_target is not None:
+                        info.calls.append((cb_target, sub.lineno, True))
+
+    @staticmethod
+    def _callback_argument(node: ast.Call) -> Optional[ast.AST]:
+        """The callback expression of a schedule-family call, if any."""
+        if not isinstance(node.func, ast.Attribute) \
+                or node.func.attr not in SCHEDULE_METHODS:
+            return None
+        cb_index = 0 if node.func.attr == "call_now" else 1
+        if len(node.args) > cb_index:
+            return node.args[cb_index]
+        return None
+
+    # ------------------------------------------------------------------
+    # Introspection helpers used by the deep passes
+    # ------------------------------------------------------------------
+    def functions_in(self, path: str) -> List[FunctionInfo]:
+        """Every function defined in ``path`` (module pseudo-function
+        included), in definition order."""
+        return sorted((f for f in self.functions.values()
+                       if f.path == path), key=lambda f: f.lineno)
+
+    def callers_of(self, qualname: str) -> List[Tuple[str, int]]:
+        """(caller qualname, call line) pairs for every resolved call
+        site targeting ``qualname``."""
+        out = []
+        for info in self.functions.values():
+            for target, line, _ in info.calls:
+                if target == qualname:
+                    out.append((info.qualname, line))
+        return sorted(out)

@@ -1,0 +1,209 @@
+"""Whole-program driver behind ``repro lint --deep``.
+
+Composes the three analysis passes over one file set:
+
+* per-file rule findings (SL0xx, via :mod:`repro.devtools.rules`);
+* protocol state-machine conformance (SL110-series, file-local, via
+  :func:`repro.devtools.protocol_spec.check_file`);
+* interprocedural nondeterminism taint (SL101–SL104, whole-program,
+  via :mod:`repro.devtools.taint`).
+
+Caching model — honest about scope:
+
+* rule and protocol findings are **file-local**, so they are cached
+  per file under the file's content sha256;
+* taint findings depend on the entire call graph, so they are cached
+  under a whole-project fingerprint (the hash of every file's hash);
+  touching *any* file re-runs the taint pass globally.
+
+Suppression comments are re-read every run (they live in the files,
+so an edited comment changes the hash anyway) and usage is tracked
+across all three passes before unused-suppression (SL009)
+diagnostics are emitted.
+"""
+
+from __future__ import annotations
+
+import ast
+import hashlib
+import json
+import os
+from dataclasses import dataclass, field
+from typing import Dict, Iterable, List, Optional, Sequence, Tuple
+
+from repro.devtools.analyzer import (SuppressionIndex, iter_python_files,
+                                     raw_findings)
+from repro.devtools.callgraph import ProjectIndex
+from repro.devtools.output import severity_of
+from repro.devtools.protocol_spec import check_file as check_protocol_file
+from repro.devtools.rules import Finding
+from repro.devtools.taint import run_taint
+
+CACHE_VERSION = 1
+DEFAULT_CACHE = ".simlint-cache.json"
+
+#: Deep-only rule ids (metadata-registered in rules.py; produced here).
+DEEP_RULES = ("SL101", "SL102", "SL103", "SL104",
+              "SL110", "SL111", "SL112")
+
+
+def _sha256(text: str) -> str:
+    return hashlib.sha256(text.encode("utf-8")).hexdigest()
+
+
+def _encode(findings: Sequence[Finding]) -> List[List[object]]:
+    return [[f.rule, f.path, f.line, f.col, f.message] for f in findings]
+
+
+def _decode(rows: Iterable[Sequence[object]]) -> List[Finding]:
+    return [Finding(rule=str(r[0]), path=str(r[1]), line=int(r[2]),
+                    col=int(r[3]), message=str(r[4])) for r in rows]
+
+
+@dataclass
+class DeepReport:
+    """Outcome of one deep run, pre-baseline."""
+
+    findings: List[Finding] = field(default_factory=list)
+    stats: Dict[str, object] = field(default_factory=dict)
+
+    def errors(self) -> List[Finding]:
+        return [f for f in self.findings if severity_of(f) == "error"]
+
+    def warnings(self) -> List[Finding]:
+        return [f for f in self.findings if severity_of(f) == "warning"]
+
+
+class _Cache:
+    """JSON-backed findings cache; drops itself on any meta mismatch."""
+
+    def __init__(self, path: Optional[str], enabled_key: List[str]):
+        self.path = path
+        self.meta = {"version": CACHE_VERSION, "enabled": enabled_key}
+        self.files: Dict[str, Dict[str, object]] = {}
+        self.taint: Dict[str, object] = {}
+        if path is None or not os.path.isfile(path):
+            return
+        try:
+            with open(path, "r", encoding="utf-8") as handle:
+                data = json.load(handle)
+        except (OSError, ValueError):
+            return
+        if not isinstance(data, dict) or data.get("meta") != self.meta:
+            return
+        files = data.get("files")
+        taint = data.get("taint")
+        if isinstance(files, dict):
+            self.files = files
+        if isinstance(taint, dict):
+            self.taint = taint
+
+    def file_entry(self, path: str, digest: str
+                   ) -> Optional[Dict[str, object]]:
+        entry = self.files.get(path)
+        if isinstance(entry, dict) and entry.get("hash") == digest:
+            return entry
+        return None
+
+    def save(self, files: Dict[str, Dict[str, object]],
+             taint: Dict[str, object]) -> None:
+        if self.path is None:
+            return
+        payload = {"meta": self.meta, "files": files, "taint": taint}
+        try:
+            with open(self.path, "w", encoding="utf-8") as handle:
+                json.dump(payload, handle, sort_keys=True)
+        except OSError:
+            pass  # caching is best-effort; the analysis already ran
+
+
+def _rule_filter(findings: Iterable[Finding],
+                 enabled: Optional[Iterable[str]]) -> List[Finding]:
+    if enabled is None:
+        return list(findings)
+    keep = set(enabled) | {"SL000"}
+    return [f for f in findings if f.rule in keep]
+
+
+def run_deep(paths: Sequence[str],
+             enabled: Optional[Iterable[str]] = None,
+             exclude: Sequence[str] = (),
+             cache_path: Optional[str] = None,
+             report_unused_suppressions: bool = True) -> DeepReport:
+    """Run all passes over the ``.py`` files beneath ``paths``."""
+    enabled_list = sorted(enabled) if enabled is not None else None
+    enabled_key = enabled_list if enabled_list is not None else ["*"]
+    cache = _Cache(cache_path, enabled_key)
+
+    files = iter_python_files(paths, exclude=exclude)
+    sources: Dict[str, str] = {}
+    digests: Dict[str, str] = {}
+    for path in files:
+        with open(path, "r", encoding="utf-8") as handle:
+            sources[path] = handle.read()
+        digests[path] = _sha256(sources[path])
+
+    new_file_cache: Dict[str, Dict[str, object]] = {}
+    per_file: Dict[str, List[Finding]] = {}
+    reused = 0
+    for path in files:
+        entry = cache.file_entry(path, digests[path])
+        if entry is not None:
+            per_file[path] = _decode(entry.get("findings", []))
+            new_file_cache[path] = entry
+            reused += 1
+            continue
+        findings = raw_findings(sources[path], path=path,
+                                enabled=enabled_list)
+        if not (findings and findings[0].rule == "SL000"):
+            try:
+                tree = ast.parse(sources[path], filename=path)
+            except SyntaxError:
+                tree = None
+            if tree is not None:
+                findings = findings + _rule_filter(
+                    check_protocol_file(path, tree), enabled_list)
+        per_file[path] = findings
+        new_file_cache[path] = {"hash": digests[path],
+                                "findings": _encode(findings)}
+
+    # Whole-project fingerprint: any content change re-runs taint.
+    project_hash = _sha256(json.dumps(
+        [[p.replace(os.sep, "/"), digests[p]] for p in files]))
+    taint_reused = cache.taint.get("fingerprint") == project_hash
+    if taint_reused:
+        taint_findings = _decode(cache.taint.get("findings", []))
+    else:
+        clean = [(p, sources[p]) for p in files
+                 if not (per_file[p] and per_file[p][0].rule == "SL000")]
+        index = ProjectIndex.build(clean)
+        taint_findings = _rule_filter(run_taint(index), enabled_list)
+    cache.save(new_file_cache,
+               {"fingerprint": project_hash,
+                "findings": _encode(taint_findings)})
+
+    # Suppression filtering + usage accounting across every pass.
+    all_findings: List[Finding] = []
+    taint_by_path: Dict[str, List[Finding]] = {}
+    for finding in taint_findings:
+        taint_by_path.setdefault(finding.path, []).append(finding)
+    for path in files:
+        idx = SuppressionIndex(path, sources[path].splitlines())
+        kept = idx.filter(per_file[path]
+                          + taint_by_path.get(path, []))
+        all_findings.extend(kept)
+        broken = kept and kept[0].rule == "SL000"
+        if report_unused_suppressions and not broken and (
+                enabled_list is None or "SL009" in enabled_list):
+            all_findings.extend(idx.filter(idx.unused_findings()))
+
+    all_findings.sort(key=lambda f: (f.path, f.line, f.col, f.rule))
+    report = DeepReport(findings=all_findings)
+    report.stats = {
+        "files": len(files),
+        "files_reused": reused,
+        "files_analyzed": len(files) - reused,
+        "taint_reused": taint_reused,
+        "cache": cache_path,
+    }
+    return report

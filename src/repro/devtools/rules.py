@@ -15,6 +15,23 @@ SL005     mutable default arguments
 SL006     event callback scheduled with mismatched arity
 SL007     direct ``rng`` use inside a ``faults/`` package (fault
           injection must draw from its own named substream)
+SL008     multiprocessing/ProcessPoolExecutor outside the
+          ``experiments/parallel.py`` choke point
+SL009     stale ``# simlint: disable=...`` comment that no longer
+          suppresses any finding (warning; see
+          ``--strict-suppressions``)
+SL101     deep: wall-clock value reaches a schedule/rng/metrics sink
+          through any number of call hops
+SL102     deep: global-``random`` value reaches a deterministic sink
+SL103     deep: ``os.environ``/``os.getenv``/``id()`` value reaches
+          a deterministic sink
+SL104     deep: hash-order or filesystem-order iteration value
+          reaches a deterministic sink
+SL110     deep: ``release_key`` reachable without proof of a
+          reception report (protocol conformance)
+SL111     deep: ``reopen`` driven outside the plead path
+SL112     deep: handler drives a transition the exchange lifecycle
+          forbids outright
 ========  ==========================================================
 
 Rules are small classes registered in :data:`RULES`; adding a rule is
@@ -672,6 +689,140 @@ class AdHocParallelismRule(Rule):
                 name = dotted_name(node) or f"<expr>.{node.attr}"
                 yield ctx.finding(
                     self, node, f"`{name}`: {self._GUIDANCE}")
+
+
+# ----------------------------------------------------------------------
+# Metadata-only rules: produced by other passes, registered here so the
+# CLI (`--list-rules`, `--enable`), config validation and suppression
+# comments know them.  Their ``check`` yields nothing — the analyzer
+# (SL009) and the --deep driver (SL1xx) emit the findings.
+# ----------------------------------------------------------------------
+class MetaRule(Rule):
+    """A rule id whose findings come from a pass outside the per-file
+    rule loop."""
+
+    def check(self, ctx: FileContext) -> Iterator[Finding]:
+        return iter(())
+
+
+@register
+class UnusedSuppressionRule(MetaRule):
+    """SL009: a ``# simlint: disable=SLxxx`` comment that suppressed
+    nothing this run.
+
+    A stale suppression is invisible until the day a *real* finding
+    appears on that line and is silently swallowed.  Reported as a
+    warning by default; ``--strict-suppressions`` turns it into an
+    error.  Emitted by the analyzer's suppression-usage tracking.
+    """
+
+    id = "SL009"
+    name = "unused-suppression"
+    description = ("suppression comment that no longer matches any "
+                   "finding; remove it (warning unless "
+                   "--strict-suppressions)")
+
+
+@register
+class DeepWallClockFlowRule(MetaRule):
+    """SL101: a wall-clock read (``time.time``, ``perf_counter``,
+    ``datetime.now`` ...) flows — through any number of call hops —
+    into a ``schedule``/rng/metrics sink.
+
+    The per-file SL002 only sees the read itself; this deep rule
+    follows the value interprocedurally and reports the full
+    source→sink call chain.  Emitted by ``repro lint --deep``.
+    """
+
+    id = "SL101"
+    name = "deep-wall-clock-flow"
+    description = ("wall-clock value reaches a scheduling/rng/metrics "
+                   "sink through the call graph (--deep)")
+
+
+@register
+class DeepGlobalRandomFlowRule(MetaRule):
+    """SL102: a value drawn from the global ``random`` module (or an
+    unseeded/``SystemRandom`` generator) flows into a deterministic
+    sink.  Emitted by ``repro lint --deep``.
+    """
+
+    id = "SL102"
+    name = "deep-global-random-flow"
+    description = ("global-random value reaches a scheduling/rng/"
+                   "metrics sink through the call graph (--deep)")
+
+
+@register
+class DeepAmbientFlowRule(MetaRule):
+    """SL103: ambient process state — ``os.environ``/``os.getenv`` or
+    a bare ``id()`` — flows into a deterministic sink.  Emitted by
+    ``repro lint --deep``.
+    """
+
+    id = "SL103"
+    name = "deep-ambient-env-flow"
+    description = ("os.environ / id() value reaches a scheduling/rng/"
+                   "metrics sink through the call graph (--deep)")
+
+
+@register
+class DeepOrderFlowRule(MetaRule):
+    """SL104: a hash-order (``set`` iteration) or filesystem-order
+    (unsorted ``os.listdir``/``os.scandir``) value flows into a
+    deterministic sink without passing an order sanitizer such as
+    ``sorted``.  Emitted by ``repro lint --deep``.
+    """
+
+    id = "SL104"
+    name = "deep-order-flow"
+    description = ("hash-order/listdir-order value reaches a "
+                   "scheduling/rng/metrics sink unsorted (--deep)")
+
+
+@register
+class ProtocolReleaseRule(MetaRule):
+    """SL110: a protocol handler calls ``ledger.release_key`` without
+    static evidence that the exchange reached ``REPORTED``.
+
+    The fair-exchange guarantee hinges on key release happening only
+    after a reception report; a handler that can reach ``release_key``
+    from an unreported state leaks the key.  Emitted by the protocol
+    conformance pass of ``repro lint --deep``.
+    """
+
+    id = "SL110"
+    name = "protocol-release-without-report"
+    description = ("release_key without proof the exchange is "
+                   "REPORTED (--deep, protocol conformance)")
+
+
+@register
+class ProtocolReopenRule(MetaRule):
+    """SL111: ``ledger.reopen`` driven outside the plead path.
+
+    Reopening is the recovery edge for an honestly-lost key and is
+    only legal from plead handling; anywhere else it would let a peer
+    replay reciprocation.  Emitted by ``repro lint --deep``.
+    """
+
+    id = "SL111"
+    name = "protocol-reopen-outside-plead"
+    description = ("reopen called outside plead handling (--deep, "
+                   "protocol conformance)")
+
+
+@register
+class ProtocolIllegalTransitionRule(MetaRule):
+    """SL112: a handler provably drives a transition the exchange
+    lifecycle forbids (the facts at the call site exclude every legal
+    source state).  Emitted by ``repro lint --deep``.
+    """
+
+    id = "SL112"
+    name = "protocol-illegal-transition"
+    description = ("ledger op whose proven state set excludes every "
+                   "legal source state (--deep, protocol conformance)")
 
 
 def all_rule_ids() -> List[str]:

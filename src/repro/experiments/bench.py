@@ -174,6 +174,42 @@ def bench_parallel(n_seeds: int, workers: Optional[int] = None
     }
 
 
+def bench_lint_deep(paths: tuple = ("src",)) -> Dict[str, object]:
+    """Cold-vs-cached smoke of ``repro lint --deep``.
+
+    The cold run pays parsing, per-file rules, protocol conformance
+    and the whole-program taint fixpoint; the warm run should be
+    dominated by hashing the unchanged files and replaying cached
+    findings.  A collapsing cold/warm ratio is the analyzer-regression
+    signal this entry exists to surface.
+    """
+    from tempfile import TemporaryDirectory
+
+    from repro.devtools.deep import run_deep
+
+    targets = [p for p in paths if os.path.exists(p)]
+    if not targets:  # bench invoked outside the repo root
+        return {"skipped": f"none of {list(paths)} exist here"}
+    with TemporaryDirectory() as tmp:
+        cache = os.path.join(tmp, "simlint-cache.json")
+        start = time.perf_counter()  # simlint: disable=SL002 -- benchmark measures real wall-time by design
+        cold = run_deep(targets, cache_path=cache)
+        cold_s = time.perf_counter() - start  # simlint: disable=SL002 -- see above
+        start = time.perf_counter()  # simlint: disable=SL002 -- see above
+        warm = run_deep(targets, cache_path=cache)
+        warm_s = time.perf_counter() - start  # simlint: disable=SL002 -- see above
+    if not warm.stats["taint_reused"]:  # pragma: no cover - cache bug
+        raise AssertionError("warm --deep run did not hit the cache")
+    return {
+        "paths": targets,
+        "files": cold.stats["files"],
+        "findings": len(cold.findings),
+        "cold_s": round(cold_s, 3),
+        "cached_s": round(warm_s, 3),
+        "speedup": round(cold_s / warm_s, 1) if warm_s else None,
+    }
+
+
 def run_bench(quick: bool = False, repeat: int = 3,
               workers: Optional[int] = None) -> Dict[str, object]:
     """Execute the full benchmark matrix and return the report dict."""
@@ -201,6 +237,7 @@ def run_bench(quick: bool = False, repeat: int = 3,
         "engine": engine,
         "scenarios": bench_scenarios(scenarios, repeat=repeat),
         "parallel": bench_parallel(n_seeds, workers=workers),
+        "lint_deep": bench_lint_deep(),
     }
 
 

@@ -1,6 +1,6 @@
 """Unit and property tests for the torrent/piece bookkeeping."""
 
-import random
+from random import Random
 
 import pytest
 from hypothesis import given, settings
@@ -105,13 +105,13 @@ class TestPieceBook:
         assert b.wanted() == set()
 
     def test_partial_book_fraction(self):
-        rng = random.Random(1)
+        rng = Random(1)
         b = partial_book(Torrent(100), 0.25, rng)
         assert b.completed_count == 25
 
     def test_partial_book_bad_fraction(self):
         with pytest.raises(ValueError):
-            partial_book(Torrent(10), 1.5, random.Random(1))
+            partial_book(Torrent(10), 1.5, Random(1))
 
 
 @st.composite

@@ -1,6 +1,6 @@
 """Unit tests for tracker, piece selection and choking machinery."""
 
-import random
+from random import Random
 
 import pytest
 
@@ -15,25 +15,25 @@ from repro.bt.tracker import Tracker
 
 class TestTracker:
     def test_announce_excludes_requester(self):
-        tr = Tracker(random.Random(1), list_size=10)
+        tr = Tracker(Random(1), list_size=10)
         for pid in "ABC":
             tr.join(pid)
         assert "A" not in tr.announce("A")
 
     def test_announce_respects_list_size(self):
-        tr = Tracker(random.Random(1), list_size=3)
+        tr = Tracker(Random(1), list_size=3)
         for i in range(20):
             tr.join(f"P{i}")
         assert len(tr.announce("X")) == 3
 
     def test_announce_returns_all_when_small(self):
-        tr = Tracker(random.Random(1), list_size=50)
+        tr = Tracker(Random(1), list_size=50)
         tr.join("A")
         tr.join("B")
         assert sorted(tr.announce("X")) == ["A", "B"]
 
     def test_leave_removes_member(self):
-        tr = Tracker(random.Random(1))
+        tr = Tracker(Random(1))
         tr.join("A")
         tr.leave("A")
         assert not tr.is_member("A")
@@ -41,7 +41,7 @@ class TestTracker:
 
     def test_announce_is_seed_deterministic(self):
         def results(seed):
-            tr = Tracker(random.Random(seed), list_size=5)
+            tr = Tracker(Random(seed), list_size=5)
             for i in range(30):
                 tr.join(f"P{i}")
             return tr.announce("X")
@@ -49,7 +49,7 @@ class TestTracker:
 
     def test_bad_list_size(self):
         with pytest.raises(ValueError):
-            Tracker(random.Random(1), list_size=0)
+            Tracker(Random(1), list_size=0)
 
 
 class TestPieceSelection:
@@ -58,7 +58,7 @@ class TestPieceSelection:
         assert counts == {0: 2, 1: 1}
 
     def test_lrf_picks_rarest(self):
-        rng = random.Random(1)
+        rng = Random(1)
         piece = local_rarest_first({0, 1, 2},
                                    [{0, 1}, {0, 1}, {0}], rng)
         assert piece == 2  # zero copies
@@ -67,15 +67,15 @@ class TestPieceSelection:
         seen = set()
         for seed in range(30):
             seen.add(local_rarest_first({0, 1}, [{0, 1}],
-                                        random.Random(seed)))
+                                        Random(seed)))
         assert seen == {0, 1}
 
     def test_lrf_empty(self):
-        assert local_rarest_first(set(), [], random.Random(1)) is None
+        assert local_rarest_first(set(), [], Random(1)) is None
 
     def test_random_piece(self):
-        assert random_piece({5}, random.Random(1)) == 5
-        assert random_piece(set(), random.Random(1)) is None
+        assert random_piece({5}, Random(1)) == 5
+        assert random_piece(set(), Random(1)) is None
 
 
 class TestContributionTracker:
@@ -98,7 +98,7 @@ class TestContributionTracker:
 
 class TestChoker:
     def test_top_contributors_win(self):
-        rng = random.Random(1)
+        rng = Random(1)
         t = ContributionTracker()
         for peer, kb in [("A", 30), ("B", 20), ("C", 10), ("D", 5)]:
             t.record(peer, kb)
@@ -108,7 +108,7 @@ class TestChoker:
         assert unchoked == {"A", "B"}
 
     def test_random_fill_when_too_few_contributors(self):
-        rng = random.Random(1)
+        rng = Random(1)
         t = ContributionTracker()
         t.record("A", 10)
         t.roll()
@@ -118,7 +118,7 @@ class TestChoker:
         assert len(unchoked) == 3
 
     def test_optimistic_excludes_unchoked(self):
-        rng = random.Random(1)
+        rng = Random(1)
         choker = Choker(regular_slots=1, rng=rng)
         choker.unchoked = {"A"}
         pick = choker.rotate_optimistic(["A", "B"])
@@ -126,12 +126,12 @@ class TestChoker:
         assert choker.all_unchoked() == {"A", "B"}
 
     def test_optimistic_none_available(self):
-        choker = Choker(regular_slots=1, rng=random.Random(1))
+        choker = Choker(regular_slots=1, rng=Random(1))
         choker.unchoked = {"A"}
         assert choker.rotate_optimistic(["A"]) is None
 
     def test_forget(self):
-        choker = Choker(regular_slots=1, rng=random.Random(1))
+        choker = Choker(regular_slots=1, rng=Random(1))
         choker.unchoked = {"A"}
         choker.optimistic = "B"
         choker.forget("A")

@@ -1,6 +1,6 @@
 """Unit and property tests for flow control, payee policy, bootstrap."""
 
-import random
+from random import Random
 
 import pytest
 from hypothesis import given, settings
@@ -88,7 +88,7 @@ class TestFlowController:
 
 class TestSelectPayee:
     def setup_method(self):
-        self.rng = random.Random(7)
+        self.rng = Random(7)
         self.flow = FlowController()
 
     def test_direct_reciprocity_preferred(self):
@@ -131,7 +131,7 @@ class TestSelectPayee:
         seen = set()
         for seed in range(50):
             decision = select_payee("B", "C", False, ["D", "E", "F"],
-                                    FlowController(), random.Random(seed))
+                                    FlowController(), Random(seed))
             seen.add(decision.payee_id)
         assert seen == {"D", "E", "F"}
 
@@ -140,16 +140,16 @@ class TestSelectRequestor:
     def test_picks_eligible(self):
         flow = FlowController(pending_limit=1)
         flow.on_piece_sent("A")
-        choice = select_requestor(["A", "B"], flow, random.Random(1))
+        choice = select_requestor(["A", "B"], flow, Random(1))
         assert choice == "B"
 
     def test_none_when_everyone_blocked(self):
         flow = FlowController(pending_limit=1)
         flow.on_piece_sent("A")
-        assert select_requestor(["A"], flow, random.Random(1)) is None
+        assert select_requestor(["A"], flow, Random(1)) is None
 
     def test_none_on_empty(self):
-        assert select_requestor([], FlowController(), random.Random(1)) is None
+        assert select_requestor([], FlowController(), Random(1)) is None
 
 
 class TestOpportunisticSeedingTrigger:
@@ -169,21 +169,21 @@ class TestBootstrap:
         assert not is_newcomer(1)
 
     def test_bootstrap_piece_in_triple_intersection(self):
-        rng = random.Random(3)
+        rng = Random(3)
         piece = select_bootstrap_piece(
             donor_pieces={1, 2, 3}, requestor_missing={2, 3, 4},
             payee_missing={3, 4, 5}, rng=rng)
         assert piece == 3
 
     def test_bootstrap_piece_none_when_infeasible(self):
-        rng = random.Random(3)
+        rng = Random(3)
         assert select_bootstrap_piece({1}, {2}, {3}, rng) is None
 
     def test_bootstrap_piece_uniform_over_feasible(self):
         seen = set()
         for seed in range(40):
             seen.add(select_bootstrap_piece(
-                {1, 2, 3}, {1, 2, 3}, {1, 2, 3}, random.Random(seed)))
+                {1, 2, 3}, {1, 2, 3}, {1, 2, 3}, Random(seed)))
         assert seen == {1, 2, 3}
 
     def test_payees_compatible_with_bootstrap(self):

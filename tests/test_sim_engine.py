@@ -46,7 +46,7 @@ class TestScheduling:
         sim = Simulator()
         sim.schedule(2.0, lambda: None)
         sim.run()
-        assert sim.now == 2.0
+        assert sim.now == 2.0  # simlint: disable=SL004 -- exact deterministic timestamp is the assertion
         with pytest.raises(SimulatorError):
             sim.schedule_at(1.0, lambda: None)
 
@@ -61,7 +61,7 @@ class TestScheduling:
         sim.schedule(1.0, outer)
         sim.run()
         assert order == ["outer", "inner"]
-        assert sim.now == 1.0
+        assert sim.now == 1.0  # simlint: disable=SL004 -- exact deterministic timestamp is the assertion
 
     def test_events_scheduled_during_run_fire(self):
         sim = Simulator()
@@ -75,7 +75,7 @@ class TestScheduling:
         sim.schedule(1.0, chain, 1)
         sim.run()
         assert fired == [1, 2, 3, 4, 5]
-        assert sim.now == 5.0
+        assert sim.now == 5.0  # simlint: disable=SL004 -- exact deterministic timestamp is the assertion
 
 
 class TestCancellation:
@@ -114,7 +114,7 @@ class TestRun:
         sim = Simulator()
         sim.schedule(10.0, lambda: None)
         sim.run(until=5.0)
-        assert sim.now == 5.0
+        assert sim.now == 5.0  # simlint: disable=SL004 -- exact deterministic timestamp is the assertion
         assert sim.pending_events == 1
 
     def test_run_until_fires_events_at_boundary(self):
@@ -127,7 +127,7 @@ class TestRun:
     def test_run_advances_clock_to_until_with_no_events(self):
         sim = Simulator()
         sim.run(until=7.5)
-        assert sim.now == 7.5
+        assert sim.now == 7.5  # simlint: disable=SL004 -- exact deterministic timestamp is the assertion
 
     def test_resume_after_until(self):
         sim = Simulator()
@@ -136,7 +136,7 @@ class TestRun:
         sim.run(until=5.0)
         sim.run()
         assert fired == [1]
-        assert sim.now == 10.0
+        assert sim.now == 10.0  # simlint: disable=SL004 -- exact deterministic timestamp is the assertion
 
     def test_max_events(self):
         sim = Simulator()

@@ -5,6 +5,10 @@ snippet; suppression comments, config resolution and the CLI exit
 codes get their own groups.
 """
 
+# simlint: disable-file=SL009 -- fixture strings below embed
+# suppression-comment examples that the raw line scan cannot tell
+# apart from live suppressions.
+
 import os
 import textwrap
 

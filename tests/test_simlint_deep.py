@@ -1,0 +1,535 @@
+"""Tests for the whole-program layer behind ``repro lint --deep``.
+
+Covers the call graph, the interprocedural nondeterminism taint pass
+(planted multi-hop leaks with full source→sink chains), the protocol
+state-machine conformance pass (mutated handlers flagged, the real
+tree clean), the findings cache, baseline/JSON/SARIF output, GitHub
+annotations and the unused-suppression (SL009) diagnostics.
+"""
+
+# simlint: disable-file=SL009 -- fixture snippets below embed
+# suppression-comment examples that the raw line scan cannot tell
+# apart from live suppressions.
+
+import ast
+import dataclasses
+import json
+import os
+import textwrap
+
+from repro.cli import main
+from repro.core.transaction import _VALID_TRANSITIONS
+from repro.devtools import SuppressionIndex, lint_source
+from repro.devtools.callgraph import ProjectIndex, module_name_for
+from repro.devtools.deep import run_deep
+from repro.devtools.output import (apply_baseline, fingerprint,
+                                   github_annotations, load_baseline,
+                                   render_json, render_sarif,
+                                   severity_of, write_baseline)
+from repro.devtools.protocol_spec import (EXCHANGE_SPEC, check_file,
+                                          spec_consistency_errors)
+from repro.devtools.rules import Finding
+from repro.devtools.taint import run_taint
+
+REPO = os.path.dirname(os.path.dirname(os.path.abspath(__file__)))
+SRC = os.path.join(REPO, "src")
+TCHAIN = os.path.join(SRC, "repro", "bt", "protocols", "tchain.py")
+
+
+def build(files):
+    return ProjectIndex.build(
+        [(path, textwrap.dedent(src)) for path, src in files])
+
+
+def taint_of(files):
+    return run_taint(build(files))
+
+
+# ----------------------------------------------------------------------
+# call graph
+# ----------------------------------------------------------------------
+class TestCallGraph:
+    def test_module_name_for(self):
+        assert module_name_for("src/repro/sim/engine.py") \
+            == "repro.sim.engine"
+        assert module_name_for("helpers.py") == "helpers"
+
+    def test_cross_module_import_resolution(self):
+        index = build([
+            ("helpers.py", """
+                def jitter():
+                    return 0.0
+            """),
+            ("peer.py", """
+                from helpers import jitter
+
+                def tick():
+                    return jitter()
+            """),
+        ])
+        tick = index.functions["peer.tick"]
+        assert [callee for callee, _, _ in tick.calls] == ["helpers.jitter"]
+        assert [caller for caller, _ in
+                index.callers_of("helpers.jitter")] == ["peer.tick"]
+
+    def test_method_resolution_via_self(self):
+        index = build([
+            ("node.py", """
+                class Node:
+                    def helper(self):
+                        return 1
+
+                    def run(self):
+                        return self.helper()
+            """),
+        ])
+        run = index.functions["node.Node.run"]
+        assert [callee for callee, _, _ in run.calls] == ["node.Node.helper"]
+
+
+# ----------------------------------------------------------------------
+# taint: planted leaks, each through at least two call hops
+# ----------------------------------------------------------------------
+class TestTaintPlantedLeaks:
+    def test_wall_clock_two_hops_with_full_chain(self):
+        findings = taint_of([
+            ("helpers.py", """
+                import time
+
+                def _raw_clock():
+                    return time.perf_counter()
+
+                def jitter():
+                    return _raw_clock() * 0.001
+            """),
+            ("peer.py", """
+                from helpers import jitter
+
+                class Peer:
+                    def __init__(self, sim):
+                        self.sim = sim
+
+                    def start(self):
+                        delay = jitter()
+                        self.sim.schedule(delay, self.start)
+            """),
+        ])
+        assert [f.rule for f in findings] == ["SL101"]
+        message = findings[0].message
+        # The diagnostic must carry the full source -> sink chain.
+        assert "time.perf_counter" in message
+        assert "_raw_clock" in message
+        assert "jitter" in message
+        assert "schedule" in message
+        assert "helpers.py:" in message and "peer.py:" in message
+
+    def test_global_random_through_helper(self):
+        findings = taint_of([
+            ("noise.py", """
+                import random
+
+                def draw():
+                    return random.random()
+            """),
+            ("sched.py", """
+                from noise import draw
+
+                def arm(sim, cb):
+                    sim.schedule(draw(), cb)
+            """),
+        ])
+        assert [f.rule for f in findings] == ["SL102"]
+
+    def test_environ_through_helper_into_rng(self):
+        findings = taint_of([
+            ("cfg.py", """
+                import os
+
+                def bias():
+                    return int(os.environ.get("BIAS", "0"))
+            """),
+            ("pick.py", """
+                from cfg import bias
+
+                def pick(rng, pool):
+                    return rng.choice(pool[bias():])
+            """),
+        ])
+        assert [f.rule for f in findings] == ["SL103"]
+
+    def test_unsorted_listdir_through_helper(self):
+        findings = taint_of([
+            ("disk.py", """
+                import os
+
+                def traces(root):
+                    return os.listdir(root)
+            """),
+            ("replay.py", """
+                from disk import traces
+
+                def replay(sim, root, cb):
+                    for name in traces(root):
+                        sim.schedule(1.0, cb, name)
+            """),
+        ])
+        assert [f.rule for f in findings] == ["SL104"]
+
+    def test_sorted_sanitizes_order_taint(self):
+        findings = taint_of([
+            ("disk.py", """
+                import os
+
+                def traces(root):
+                    return sorted(os.listdir(root))
+            """),
+            ("replay.py", """
+                from disk import traces
+
+                def replay(sim, root, cb):
+                    for name in traces(root):
+                        sim.schedule(1.0, cb, name)
+            """),
+        ])
+        assert findings == []
+
+    def test_seeded_rng_is_clean(self):
+        findings = taint_of([
+            ("clean.py", """
+                def arm(sim, cb):
+                    sim.schedule(sim.rng.random(), cb)
+            """),
+        ])
+        assert findings == []
+
+
+# ----------------------------------------------------------------------
+# protocol conformance
+# ----------------------------------------------------------------------
+class TestProtocolSpec:
+    def test_spec_mirrors_runtime_transitions(self):
+        """The declarative spec must track core/transaction.py exactly;
+        drift here would make the conformance pass check a fiction."""
+        runtime = {state.name: sorted(t.name for t in targets)
+                   for state, targets in _VALID_TRANSITIONS.items()}
+        spec = {state: sorted(targets)
+                for state, targets in EXCHANGE_SPEC.transitions.items()}
+        assert spec == runtime
+
+    def test_spec_is_internally_consistent(self):
+        assert spec_consistency_errors(EXCHANGE_SPEC) == []
+
+    def _check(self, source, path="src/repro/bt/protocols/mutant.py"):
+        tree = ast.parse(textwrap.dedent(source), filename=path)
+        return check_file(path, tree)
+
+    def test_release_before_report_flagged(self):
+        findings = self._check("""
+            from repro.core.transaction import TransactionState
+
+            class Handler:
+                def __init__(self, ledger, sim):
+                    self.ledger = ledger
+                    self.sim = sim
+
+                def on_piece(self, tid):
+                    tx = self.ledger.get(tid)
+                    if tx.state is not TransactionState.DELIVERED:
+                        return
+                    self.ledger.release_key(tid, self.sim.now)
+        """)
+        assert [f.rule for f in findings] == ["SL110"]
+        assert "REPORTED" in findings[0].message
+
+    def test_reopen_outside_plead_flagged(self):
+        findings = self._check("""
+            from repro.core.transaction import TransactionState
+
+            class Handler:
+                def __init__(self, ledger, sim):
+                    self.ledger = ledger
+                    self.sim = sim
+
+                def _key_retry(self, tid):
+                    tx = self.ledger.get(tid)
+                    if tx.state is not TransactionState.RECIPROCATED:
+                        return
+                    self.ledger.reopen(tid, self.sim.now)
+        """)
+        assert [f.rule for f in findings] == ["SL111"]
+        assert "plead" in findings[0].message
+
+    def test_mutated_real_handler_flagged(self):
+        """Deleting the reception report from the real key-release
+        handler must surface SL110 on the release call."""
+        with open(TCHAIN, "r", encoding="utf-8") as handle:
+            source = handle.read()
+        target = "ledger.report_reciprocation(transaction_id, self.sim.now)\n"
+        assert source.count(target) >= 1
+        mutated = source.replace(target, "pass\n")
+        tree = ast.parse(mutated, filename=TCHAIN)
+        findings = check_file(TCHAIN, tree)
+        assert any(f.rule == "SL110" for f in findings)
+
+    def test_unmutated_real_handler_clean(self):
+        with open(TCHAIN, "r", encoding="utf-8") as handle:
+            tree = ast.parse(handle.read(), filename=TCHAIN)
+        assert check_file(TCHAIN, tree) == []
+
+
+class TestRealTreeClean:
+    def test_deep_run_over_src_is_clean(self):
+        report = run_deep([SRC], cache_path=None)
+        assert report.findings == [], "\n".join(
+            f.format() for f in report.findings)
+        assert report.stats["files"] > 50
+
+
+# ----------------------------------------------------------------------
+# deep driver: cache behaviour
+# ----------------------------------------------------------------------
+class TestDeepCache:
+    LEAKY = textwrap.dedent("""
+        import time
+
+        def delay():
+            return time.time()
+
+        def arm(sim, cb):
+            sim.schedule(delay(), cb)
+    """)
+
+    def test_warm_run_reuses_and_matches(self, tmp_path):
+        mod = tmp_path / "leaky.py"
+        mod.write_text(self.LEAKY)
+        cache = str(tmp_path / "cache.json")
+        cold = run_deep([str(mod)], cache_path=cache)
+        warm = run_deep([str(mod)], cache_path=cache)
+        assert cold.stats["files_analyzed"] == 1
+        assert warm.stats["files_reused"] == 1
+        assert warm.stats["taint_reused"] is True
+        assert warm.findings == cold.findings
+        # the direct read is SL002; the laundered flow is SL101
+        assert [f.rule for f in warm.findings] == ["SL002", "SL101"]
+
+    def test_edit_invalidates_cache(self, tmp_path):
+        mod = tmp_path / "leaky.py"
+        mod.write_text(self.LEAKY)
+        cache = str(tmp_path / "cache.json")
+        run_deep([str(mod)], cache_path=cache)
+        mod.write_text(self.LEAKY.replace("time.time()", "0.5"))
+        fixed = run_deep([str(mod)], cache_path=cache)
+        assert fixed.stats["files_analyzed"] == 1
+        assert fixed.stats["taint_reused"] is False
+        assert fixed.findings == []
+
+
+# ----------------------------------------------------------------------
+# suppression edge cases + SL009
+# ----------------------------------------------------------------------
+class TestSuppressionEdgeCases:
+    def test_multiple_rule_ids_one_comment_all_used(self):
+        src = ("import random  "
+               "# simlint: disable=SL001,SL002 -- SL002 is stale\n")
+        index = SuppressionIndex("snippet.py", src.splitlines())
+        assert lint_source(src, "snippet.py", suppressions=index) == []
+        unused = index.filter(index.unused_findings())
+        assert len(unused) == 1
+        assert unused[0].rule == "SL009"
+        assert "SL002" in unused[0].message
+
+    def test_unknown_rule_id_suppresses_nothing(self):
+        src = "import random  # simlint: disable=SL999\n"
+        index = SuppressionIndex("snippet.py", src.splitlines())
+        findings = lint_source(src, "snippet.py", suppressions=index)
+        assert [f.rule for f in findings] == ["SL001"]
+        unused = index.unused_findings()
+        assert [f.rule for f in unused] == ["SL009"]
+        assert "SL999" in unused[0].message
+
+    def test_disable_on_continuation_line_does_not_anchor(self):
+        """Suppressions anchor to the physical line of the finding;
+        a comment on a later continuation line neither suppresses nor
+        counts as used."""
+        src = ("import time\n"
+               "t = time.time(\n"
+               ")  # simlint: disable=SL002\n")
+        index = SuppressionIndex("snippet.py", src.splitlines())
+        findings = lint_source(src, "snippet.py", suppressions=index)
+        assert [f.rule for f in findings] == ["SL002"]
+        assert findings[0].line == 2
+        assert [f.rule for f in index.unused_findings()] == ["SL009"]
+
+    def test_disable_on_reported_line_of_multiline_call(self):
+        src = ("import time\n"
+               "t = time.time(  # simlint: disable=SL002\n"
+               ")\n")
+        findings = lint_source(src, "snippet.py")
+        assert findings == []
+
+    def test_file_wide_suppression_used_once_not_stale(self):
+        src = ("# simlint: disable-file=SL001\n"
+               "import random\n"
+               "import random as r2\n")
+        index = SuppressionIndex("snippet.py", src.splitlines())
+        assert lint_source(src, "snippet.py", suppressions=index) == []
+        assert index.unused_findings() == []
+
+    def test_cli_reports_sl009_as_warning_exit_zero(self, tmp_path,
+                                                    capsys):
+        (tmp_path / "mod.py").write_text(
+            "x = 1  # simlint: disable=SL002\n")
+        code = main(["lint", str(tmp_path), "--no-config"])
+        out = capsys.readouterr().out
+        assert code == 0
+        assert "SL009" in out
+
+    def test_strict_suppressions_turns_warning_into_failure(
+            self, tmp_path, capsys):
+        (tmp_path / "mod.py").write_text(
+            "x = 1  # simlint: disable=SL002\n")
+        code = main(["lint", str(tmp_path), "--no-config",
+                     "--strict-suppressions"])
+        assert code == 1
+
+
+# ----------------------------------------------------------------------
+# output: formats, baseline, annotations
+# ----------------------------------------------------------------------
+FINDING = Finding(rule="SL101", path="src/repro/x.py", line=7, col=5,
+                  message="wall-clock value flows into schedule()")
+WARNING = Finding(rule="SL009", path="src/repro/x.py", line=1, col=1,
+                  message="unused suppression")
+
+
+class TestOutput:
+    def test_severity_split(self):
+        assert severity_of(FINDING) == "error"
+        assert severity_of(WARNING) == "warning"
+
+    def test_json_render(self):
+        payload = json.loads(render_json([FINDING, WARNING]))
+        assert payload["summary"] == {"total": 2, "errors": 1,
+                                      "warnings": 1, "baselined": 0}
+        assert payload["findings"][0]["rule"] == "SL101"
+        assert payload["findings"][0]["fingerprint"] \
+            == "SL101:src/repro/x.py:7"
+
+    def test_sarif_render(self):
+        log = json.loads(render_sarif([FINDING]))
+        assert log["version"] == "2.1.0"
+        run = log["runs"][0]
+        assert run["tool"]["driver"]["name"] == "simlint"
+        result = run["results"][0]
+        assert result["ruleId"] == "SL101"
+        assert result["level"] == "error"
+        region = result["locations"][0]["physicalLocation"]
+        assert region["artifactLocation"]["uri"] == "src/repro/x.py"
+        assert region["region"]["startLine"] == 7
+
+    def test_github_annotation_escaping(self):
+        lines = github_annotations([dataclasses.replace(
+            FINDING, message="line one\nline two")])
+        assert lines[0].startswith(
+            "::error file=src/repro/x.py,line=7,col=5,")
+        assert "%0A" in lines[0] and "\n" not in lines[0]
+
+    def test_baseline_roundtrip(self, tmp_path):
+        path = str(tmp_path / "baseline.json")
+        write_baseline(path, [FINDING])
+        assert load_baseline(path) == {fingerprint(FINDING)}
+        kept, baselined = apply_baseline([FINDING, WARNING],
+                                         load_baseline(path))
+        assert kept == [WARNING]
+        assert baselined == 1
+
+    def test_cli_write_then_apply_baseline(self, tmp_path, capsys):
+        (tmp_path / "bad.py").write_text("import random\n")
+        baseline = str(tmp_path / "baseline.json")
+        code = main(["lint", str(tmp_path), "--no-config",
+                     "--baseline", baseline, "--write-baseline"])
+        assert code == 0
+        code = main(["lint", str(tmp_path), "--no-config",
+                     "--baseline", baseline])
+        out = capsys.readouterr().out
+        assert code == 0
+        assert "1 baselined" in out
+
+    def test_cli_missing_baseline_is_an_error(self, tmp_path, capsys):
+        (tmp_path / "ok.py").write_text("x = 1\n")
+        code = main(["lint", str(tmp_path), "--no-config",
+                     "--baseline", str(tmp_path / "nope.json")])
+        assert code == 2
+
+    def test_cli_json_format(self, tmp_path, capsys):
+        (tmp_path / "bad.py").write_text("import random\n")
+        code = main(["lint", str(tmp_path), "--no-config",
+                     "--format", "json"])
+        payload = json.loads(capsys.readouterr().out)
+        assert code == 1
+        assert payload["summary"]["errors"] == 1
+
+    def test_cli_sarif_format(self, tmp_path, capsys):
+        (tmp_path / "bad.py").write_text("import random\n")
+        code = main(["lint", str(tmp_path), "--no-config",
+                     "--format", "sarif"])
+        log = json.loads(capsys.readouterr().out)
+        assert code == 1
+        assert log["runs"][0]["results"][0]["ruleId"] == "SL001"
+
+    def test_cli_github_annotations(self, tmp_path, capsys,
+                                    monkeypatch):
+        monkeypatch.setenv("GITHUB_ACTIONS", "true")
+        (tmp_path / "bad.py").write_text("import random\n")
+        code = main(["lint", str(tmp_path), "--no-config"])
+        out = capsys.readouterr().out
+        assert code == 1
+        assert "::error file=" in out
+        assert "title=simlint SL001" in out
+
+    def test_cli_no_annotations_outside_actions(self, tmp_path,
+                                                capsys, monkeypatch):
+        monkeypatch.delenv("GITHUB_ACTIONS", raising=False)
+        (tmp_path / "bad.py").write_text("import random\n")
+        main(["lint", str(tmp_path), "--no-config"])
+        assert "::error" not in capsys.readouterr().out
+
+
+# ----------------------------------------------------------------------
+# CLI: --deep end to end, --list-rules catalogue
+# ----------------------------------------------------------------------
+class TestDeepCli:
+    def test_deep_flags_planted_leak_with_chain(self, tmp_path,
+                                                capsys):
+        (tmp_path / "helpers.py").write_text(textwrap.dedent("""
+            import time
+
+            def jitter():
+                return time.time() * 0.001
+        """))
+        (tmp_path / "peer.py").write_text(textwrap.dedent("""
+            from helpers import jitter
+
+            def arm(sim, cb):
+                sim.schedule(jitter(), cb)
+        """))
+        code = main(["lint", "--deep", "--no-cache", str(tmp_path),
+                     "--no-config"])
+        out = capsys.readouterr().out
+        assert code == 1
+        assert "SL101" in out
+        assert "jitter" in out and "schedule" in out
+
+    def test_deep_clean_dir_exits_zero(self, tmp_path, capsys):
+        (tmp_path / "ok.py").write_text("x = 1\n")
+        code = main(["lint", "--deep", "--no-cache", str(tmp_path),
+                     "--no-config"])
+        assert code == 0
+
+    def test_list_rules_includes_deep_catalogue(self, capsys):
+        code = main(["lint", "--list-rules"])
+        out = capsys.readouterr().out
+        assert code == 0
+        for rule_id in ("SL009", "SL101", "SL102", "SL103", "SL104",
+                        "SL110", "SL111", "SL112"):
+            assert rule_id in out

@@ -1,6 +1,6 @@
 """Tests for arrival models and churn."""
 
-import random
+from random import Random
 
 import pytest
 from hypothesis import given, settings
@@ -28,18 +28,18 @@ def dummy_factories(n):
 
 class TestFlashCrowd:
     def test_all_within_window(self):
-        schedule = flash_crowd(dummy_factories(50), random.Random(1),
+        schedule = flash_crowd(dummy_factories(50), Random(1),
                                window_s=10.0)
         assert len(schedule) == 50
         assert all(0 <= t <= 10.0 for t, _ in schedule)
 
     def test_sorted_by_time(self):
-        schedule = flash_crowd(dummy_factories(20), random.Random(1))
+        schedule = flash_crowd(dummy_factories(20), Random(1))
         times = [t for t, _ in schedule]
         assert times == sorted(times)
 
     def test_last_arrival(self):
-        schedule = flash_crowd(dummy_factories(20), random.Random(1))
+        schedule = flash_crowd(dummy_factories(20), Random(1))
         assert schedule.last_arrival == max(t for t, _ in schedule)
         assert ArrivalSchedule([]).last_arrival == 0.0
 
@@ -47,58 +47,58 @@ class TestFlashCrowd:
 class TestPoisson:
     def test_count_and_monotonic(self):
         schedule = poisson_arrivals(dummy_factories(30),
-                                    random.Random(2), rate_per_s=1.0)
+                                    Random(2), rate_per_s=1.0)
         times = [t for t, _ in schedule]
         assert len(times) == 30
         assert times == sorted(times)
 
     def test_rate_matches_roughly(self):
         schedule = poisson_arrivals(dummy_factories(500),
-                                    random.Random(3), rate_per_s=2.0)
+                                    Random(3), rate_per_s=2.0)
         assert schedule.last_arrival == pytest.approx(250.0, rel=0.25)
 
     def test_invalid_rate(self):
         with pytest.raises(ValueError):
-            poisson_arrivals(dummy_factories(5), random.Random(1), 0.0)
+            poisson_arrivals(dummy_factories(5), Random(1), 0.0)
 
 
 class TestRedHatTrace:
     def test_exact_count(self):
-        times = redhat9_like_arrival_times(100, random.Random(4))
+        times = redhat9_like_arrival_times(100, Random(4))
         assert len(times) == 100
         assert times == sorted(times)
 
     def test_within_horizon(self):
-        times = redhat9_like_arrival_times(100, random.Random(4),
+        times = redhat9_like_arrival_times(100, Random(4),
                                            horizon_s=1000.0)
         assert all(0 <= t <= 1000.0 for t in times)
 
     def test_front_loaded(self):
         """Release-day surge: more arrivals early than late."""
-        times = redhat9_like_arrival_times(1000, random.Random(5),
+        times = redhat9_like_arrival_times(1000, Random(5),
                                            horizon_s=1000.0)
         early = sum(1 for t in times if t < 250)
         late = sum(1 for t in times if t > 750)
         assert early > 2 * late
 
     def test_empty(self):
-        assert redhat9_like_arrival_times(0, random.Random(1)) == []
+        assert redhat9_like_arrival_times(0, Random(1)) == []
 
     def test_invalid_decay(self):
         with pytest.raises(ValueError):
-            redhat9_like_arrival_times(5, random.Random(1),
+            redhat9_like_arrival_times(5, Random(1),
                                        decay_ratio=1.5)
 
     def test_trace_schedule(self):
         schedule = redhat9_like_trace(dummy_factories(10),
-                                      random.Random(6))
+                                      Random(6))
         assert len(schedule) == 10
 
     @given(st.integers(min_value=1, max_value=200),
            st.integers(min_value=0, max_value=10 ** 6))
     @settings(max_examples=40, deadline=None)
     def test_counts_and_bounds_property(self, n, seed):
-        times = redhat9_like_arrival_times(n, random.Random(seed),
+        times = redhat9_like_arrival_times(n, Random(seed),
                                            horizon_s=500.0)
         assert len(times) == n
         assert all(0.0 <= t <= 500.0 for t in times)

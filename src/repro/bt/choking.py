@@ -68,7 +68,8 @@ class Choker:
         contributors.sort(key=lambda n: (-tracker.last_round(n), n))
         chosen = contributors[:self.regular_slots]
         if len(chosen) < self.regular_slots:
-            rest = [n for n in pool if n not in chosen]
+            chosen_set = set(chosen)
+            rest = [n for n in pool if n not in chosen_set]
             self.rng.shuffle(rest)
             chosen.extend(rest[:self.regular_slots - len(chosen)])
         self.unchoked = set(chosen)
@@ -76,9 +77,19 @@ class Choker:
 
     def rotate_optimistic(self, interested: Iterable[str]) -> Optional[str]:
         """Pick a new optimistic unchoke among choked interested
-        neighbors, regardless of upload history (Sec. II-A)."""
+        neighbors, regardless of upload history (Sec. II-A).
+
+        The incumbent optimistic is excluded whenever another choked
+        interested neighbor exists, so a rotation actually rotates:
+        on small neighborhoods re-picking the incumbent forever would
+        silently stall the 30 s optimistic churn.  With the incumbent
+        as the only candidate it keeps the slot (dropping it would
+        idle the slot for no benefit).
+        """
         pool = sorted(n for n in interested
                       if n not in self.unchoked)
+        if self.optimistic is not None and len(pool) > 1:
+            pool = [n for n in pool if n != self.optimistic]
         self.optimistic = self.rng.choice(pool) if pool else None
         return self.optimistic
 

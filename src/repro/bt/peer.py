@@ -20,7 +20,7 @@ fairness-factor metric of Fig. 12.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Any, Dict, Optional, Set, TYPE_CHECKING
+from typing import Any, Dict, List, Optional, Set, TYPE_CHECKING
 
 from repro.bt.piece_selection import local_rarest_first
 from repro.bt.torrent import PieceBook
@@ -93,8 +93,10 @@ class Peer:
         self.swarm.register(self)
         members = self.swarm.tracker.announce(self.id)
         self.swarm.tracker.join(self.id)
+        adjacent = self.swarm.topology.neighbors(self.id)
         for other in members:
-            self.swarm.connect(self.id, other)
+            if other not in adjacent:
+                self.swarm.connect(self.id, other)
         # Periodic re-scan: several serving conditions are time-based
         # (flow windows, backoff expiry, trust/credit changes) and
         # produce no event of their own; real clients re-evaluate on
@@ -115,8 +117,16 @@ class Peer:
         # A real client goes back to the tracker in that situation.
         wanted = self.book.wanted()
         if wanted:
-            starved = not any(wanted & peer.book.completed
-                              for peer in self.neighbor_peers())
+            index = self.swarm.interest
+            if index is not None:
+                rows = index._rows
+                starved = not any(
+                    self.id in rows.get(nid, ())
+                    for nid in self.swarm.topology.sorted_neighbors(
+                        self.id))
+            else:
+                starved = not any(wanted & peer.book.completed
+                                  for peer in self.neighbor_peers())
             if starved:
                 self.refill_neighbors()
         self.pump()
@@ -134,6 +144,7 @@ class Peer:
             return
         self.active = False
         self.leave_time = self.sim.now
+        self.swarm.note_deactivated(self)
         if self._rescan_task is not None:
             self._rescan_task.stop()
         self.on_leave()
@@ -166,6 +177,7 @@ class Peer:
         self.active = False
         self.crashed = True
         self.leave_time = self.sim.now
+        self.swarm.note_deactivated(self)
         if self._rescan_task is not None:
             self._rescan_task.stop()
         for transfer in list(self._incoming):
@@ -193,6 +205,7 @@ class Peer:
         # uploaders re-pump immediately and must not start transfers
         # addressed to the id we are about to discard.
         self.active = False
+        self.swarm.note_deactivated(self)
         for transfer in list(self._incoming):
             uploader = self.swarm.find_peer(transfer.meta.uploader_id)
             if uploader is not None:
@@ -217,17 +230,23 @@ class Peer:
         """Ask the tracker for more members when running low."""
         if not self.active:
             return
+        # Tracker refills mostly return peers we already know;
+        # ``Swarm.connect`` treats those as no-ops, so skip the call.
+        adjacent = self.swarm.topology.neighbors(self.id)
         for other in self.swarm.tracker.announce(self.id):
-            self.swarm.connect(self.id, other)
+            if other not in adjacent:
+                self.swarm.connect(self.id, other)
 
     # ------------------------------------------------------------------
     # Serving loop
     # ------------------------------------------------------------------
     def pump(self) -> None:
         """Start uploads while slots are free and work exists."""
-        if not self.active or self.uplink.capacity_kbps <= 0:
+        uplink = self.uplink
+        if not self.active or uplink.capacity_kbps <= 0:
             return
-        while self.uplink.idle_slots > 0:
+        n_slots = uplink.n_slots
+        while uplink.busy_slots < n_slots:
             plan = self.next_upload()
             if plan is None:
                 return
@@ -354,12 +373,25 @@ class Peer:
 
     def interested_neighbors(self) -> list:
         """Neighbors that want at least one of our completed pieces."""
+        index = self.swarm.interest
+        if index is not None:
+            row = index.row(self.id)
+            return [nid for nid in
+                    self.swarm.topology.sorted_neighbors(self.id)
+                    if nid in row]
         mine = self.book.completed
         return [p.id for p in self.neighbor_peers()
                 if p.book.needs_from(mine)]
 
     def is_interested_in(self, other: "Peer") -> bool:
-        """Do we want a piece the other peer has completed?"""
+        """Do we want a piece the other peer has completed?
+
+        With the index on, both peers must be active (callers pass
+        live neighbors, matching the naive scans' active filter).
+        """
+        index = self.swarm.interest
+        if index is not None:
+            return self.id in index.row(other.id)
         return bool(self.book.needs_from(other.book.completed))
 
     def choose_piece_from(self, uploader: "Peer") -> Optional[int]:
@@ -367,6 +399,22 @@ class Peer:
         candidates = self.book.needs_from(uploader.book.completed)
         if not candidates:
             return None
+        index = self.swarm.interest
+        if index is not None:
+            # Fused single-pass rarest_of over the availability row:
+            # same min + sorted-tie-pool + rng.choice as rarest_of.
+            get = index.avail(self.id).get
+            best = None
+            pool: List[int] = []
+            for piece in candidates:
+                copies = get(piece, 0)
+                if best is None or copies < best:
+                    best = copies
+                    pool = [piece]
+                elif copies == best:
+                    pool.append(piece)
+            pool.sort()
+            return self.sim.rng.choice(pool)
         books = [p.book.completed for p in self.neighbor_peers()]
         return local_rarest_first(candidates, books, self.sim.rng)
 

@@ -25,6 +25,21 @@ def availability(pieces: Iterable[int],
     return counts
 
 
+def rarest_of(counts: Dict[int, int], rng: Random) -> Optional[int]:
+    """LRF choice over precomputed ``{piece: copies}`` counts.
+
+    The shared tail of :func:`local_rarest_first`, split out so the
+    interest index can feed its incrementally-maintained availability
+    counts through the exact same tie-break (sorted pool, one
+    ``rng.choice``) and stay trace-identical with the naive scan.
+    """
+    if not counts:
+        return None
+    rarest = min(counts.values())
+    pool = sorted(p for p, c in counts.items() if c == rarest)
+    return rng.choice(pool)
+
+
 def local_rarest_first(candidates: Set[int],
                        neighbor_books: Iterable[AbstractSet[int]],
                        rng: Random) -> Optional[int]:
@@ -35,10 +50,7 @@ def local_rarest_first(candidates: Set[int],
     """
     if not candidates:
         return None
-    counts = availability(candidates, neighbor_books)
-    rarest = min(counts.values())
-    pool = sorted(p for p, c in counts.items() if c == rarest)
-    return rng.choice(pool)
+    return rarest_of(availability(candidates, neighbor_books), rng)
 
 
 def random_piece(candidates: Set[int], rng: Random) -> Optional[int]:

@@ -98,6 +98,14 @@ class BaselineLeecher(Peer):
     def serveable(self, neighbor_ids) -> List[str]:
         """Filter to active, interested-in-us, not-already-being-served
         neighbors."""
+        index = self.swarm.interest
+        if index is not None:
+            # ``nid in row`` covers both interest and activity (only
+            # tracked, i.e. active, peers have row entries).
+            row = index.row(self.id)
+            in_flight = self._in_flight_to
+            return sorted(nid for nid in neighbor_ids
+                          if nid in row and nid not in in_flight)
         result = []
         mine = self.book.completed
         for nid in neighbor_ids:

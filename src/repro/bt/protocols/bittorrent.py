@@ -52,9 +52,9 @@ class BitTorrentLeecher(BaselineLeecher):
 
     # -- choking ---------------------------------------------------------
     def _interested_in_us(self):
-        mine = self.book.completed
-        return [p.id for p in self.neighbor_peers()
-                if p.book.needs_from(mine)]
+        # Same contract as Peer.interested_neighbors (which is
+        # index-accelerated); kept as a named hook for readability.
+        return self.interested_neighbors()
 
     def _rechoke(self) -> None:
         self.contributions.roll()

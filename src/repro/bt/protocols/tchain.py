@@ -42,6 +42,12 @@ from __future__ import annotations
 
 from typing import Dict, List, Optional, Set, Tuple, TYPE_CHECKING
 
+from repro.bt.interest import (
+    needed_overlap,
+    offers_interest,
+    wants_any_of,
+    wants_from,
+)
 from repro.bt.peer import Peer, UploadPlan
 from repro.bt.protocols.base import BaselineLeecher
 from repro.bt.torrent import full_book, piece_payload
@@ -157,6 +163,20 @@ class _TChainNode(Peer):
         # nothing; colluders recycle at their false-report rate.
         self._strikes: Dict[str, int] = {}
         self._banned_until: Dict[str, float] = {}
+        # Mirror of the flow window: ids whose pending count is at or
+        # over the limit, i.e. exactly the neighbors for which
+        # ``flow.eligible`` is False.  Maintained by boundary-crossing
+        # callbacks so hot planning loops do one set lookup instead of
+        # a method call per neighbor.
+        self._flow_blocked: Set[str] = set()
+        self.flow.on_window_change = self._on_flow_window_change
+
+    def _on_flow_window_change(self, neighbor_id: str,
+                               blocked: bool) -> None:
+        if blocked:
+            self._flow_blocked.add(neighbor_id)
+        else:
+            self._flow_blocked.discard(neighbor_id)
 
     #: Backoff cap: stall × 2^(strikes−1) saturates here, so a chronic
     #: non-reciprocator is throttled to one donation per
@@ -198,9 +218,12 @@ class _TChainNode(Peer):
         topology = self.swarm.topology
         if topology.degree(self.id) < topology.max_neighbors:
             return
-        for neighbor_id in sorted(topology.neighbors(self.id)):
+        for neighbor_id in topology.sorted_neighbors(self.id):
             if not self.cooperative(neighbor_id) \
                     and not self.uploading_to(neighbor_id):
+                # Safe while iterating: disconnect invalidates the
+                # cache entry but we hold the list, whose contents
+                # match the sorted snapshot the loop needs.
                 topology.disconnect(self.id, neighbor_id)
 
     def accepts_connection_from(self, peer_id: str) -> bool:
@@ -216,6 +239,28 @@ class _TChainNode(Peer):
     # ------------------------------------------------------------------
     def _eligible_requestors(self) -> List[str]:
         """Neighbors we could start serving right now."""
+        index = self.swarm.interest
+        if index is not None:
+            # Every check is a set/dict lookup.  ``nid in row`` covers
+            # both "wants a piece of ours" and "active" (untracked
+            # peers have no row entries), matching the naive
+            # active-neighbor scan below.
+            row = index._rows.get(self.id)
+            if not row:
+                return []
+            # C-level set algebra beats a Python predicate loop here;
+            # the sorted result is identical to the neighbor walk.
+            eligible = row.keys() & self.swarm.topology.neighbors(self.id)
+            if self._in_flight_to:
+                eligible -= self._in_flight_to
+            if self._flow_blocked:
+                eligible -= self._flow_blocked
+            banned = self._banned_until
+            if banned:
+                now = self.sim.now
+                return sorted(nid for nid in eligible
+                              if now >= banned.get(nid, 0.0))
+            return sorted(eligible)
         mine = self.book.completed
         result = []
         for peer in self.neighbor_peers():
@@ -233,14 +278,29 @@ class _TChainNode(Peer):
                           offered: Set[int]) -> List[str]:
         """Our neighbors that need ≥1 of the requestor's pieces
         (including the piece about to be uploaded), Sec. II-B2."""
-        available = set(requestor.book.completed) | offered
+        index = self.swarm.interest
+        requestor_id = requestor.id
+        if index is not None:
+            row = index.row(requestor_id)
+            wanter_sets = [index.wanters(p) for p in offered]
+            banned = self._banned_until
+            now = self.sim.now
+            result = []
+            for nid in self.swarm.topology.sorted_neighbors(self.id):
+                if nid == requestor_id:
+                    continue
+                if banned and now < banned.get(nid, 0.0):
+                    continue
+                if nid in row or any(nid in s for s in wanter_sets):
+                    result.append(nid)
+            return result
         result = []
         for peer in self.neighbor_peers():
-            if peer.id in (self.id, requestor.id):
+            if peer.id in (self.id, requestor_id):
                 continue
             if not self.cooperative(peer.id):
                 continue
-            if peer.book.wanted() & available:
+            if offers_interest(self.swarm, requestor, offered, peer):
                 result.append(peer.id)
         return sorted(result)
 
@@ -264,14 +324,13 @@ class _TChainNode(Peer):
         decision: Optional[PayeeDecision] = None
 
         if forward_of is not None:
-            # Newcomer forwarding: the piece is fixed.
+            # Newcomer forwarding: the piece is fixed.  The requestor
+            # must still *want* it; wanted/expected/completed are
+            # disjoint, so the two former overlapping checks (reject
+            # unless wanted-or-expected, then reject expected-but-not-
+            # wanted) both reduce to exactly this.
             piece = forward_of.piece_index
-            if piece not in requestor.book.wanted() \
-                    and not requestor.book.is_expected(piece):
-                return None
-            if requestor.book.is_expected(piece) \
-                    and piece not in requestor.book.wanted():
-                # Someone else is already delivering it.
+            if piece not in requestor.book.wanted():
                 return None
             decision = self._decide_payee(requestor, {piece})
         elif config.newcomer_bootstrap \
@@ -297,8 +356,7 @@ class _TChainNode(Peer):
     def _decide_payee(self, requestor: Peer,
                       offered: Set[int]) -> PayeeDecision:
         config = self.swarm.config
-        direct_possible = bool(
-            self.book.wanted() & requestor.book.completed)
+        direct_possible = wants_from(self.swarm, self, requestor)
         if not config.indirect_reciprocity:
             candidates: List[str] = []
         else:
@@ -323,19 +381,33 @@ class _TChainNode(Peer):
                           ) -> Tuple[Optional[int],
                                      Optional[PayeeDecision]]:
         """Joint payee+piece choice for a newcomer requestor."""
-        usable = self.book.completed & requestor.book.wanted()
+        usable = needed_overlap(self, requestor)
         if not usable:
             return None, None
+        index = self.swarm.interest
         candidates = []
-        for peer in self.neighbor_peers():
-            if peer.id in (self.id, requestor.id):
-                continue
-            if not self.flow.eligible(peer.id):
-                continue
-            if not self.cooperative(peer.id):
-                continue
-            if usable & peer.book.wanted():
-                candidates.append(peer.id)
+        if index is not None:
+            requestor_id = requestor.id
+            blocked = self._flow_blocked
+            banned = self._banned_until
+            now = self.sim.now
+            for nid in self.swarm.topology.sorted_neighbors(self.id):
+                if nid == requestor_id or nid in blocked:
+                    continue
+                if banned and now < banned.get(nid, 0.0):
+                    continue
+                if index.wants_any(nid, usable):
+                    candidates.append(nid)
+        else:
+            for peer in self.neighbor_peers():
+                if peer.id in (self.id, requestor.id):
+                    continue
+                if not self.flow.eligible(peer.id):
+                    continue
+                if not self.cooperative(peer.id):
+                    continue
+                if wants_any_of(self.swarm, peer, usable):
+                    candidates.append(peer.id)
         if not candidates:
             return None, None
         payee_id = self.sim.rng.choice(sorted(candidates))
@@ -516,11 +588,10 @@ class _TChainNode(Peer):
         old_payee = tx.payee_id
         ledger.reopen(msg.transaction_id, self.sim.now)
         self.swarm.metrics.recovery.reopens += 1
-        offerings = set(requestor.book.completed)
-        offerings.add(tx.piece_index)
         exclude = (frozenset({old_payee}) if old_payee is not None
                    else frozenset())
-        new_payee = self.reassign_or_forgive(tx, offerings,
+        new_payee = self.reassign_or_forgive(tx, requestor,
+                                             (tx.piece_index,),
                                              exclude=exclude)
         if new_payee is not None:
             self.swarm.send_control(self.id, requestor,
@@ -530,38 +601,67 @@ class _TChainNode(Peer):
     # ------------------------------------------------------------------
     # Reassignment / forgiveness (Sec. II-B4)
     # ------------------------------------------------------------------
-    def reassign_or_forgive(self, tx: Transaction, offerings: Set[int],
+    def reassign_or_forgive(self, tx: Transaction,
+                            requestor: Optional[Peer],
+                            extra: Tuple[int, ...] = (),
                             exclude: frozenset = frozenset()
                             ) -> Optional[str]:
         """The designated payee is gone, satisfied or vetoed; as the
         donor of ``tx`` pick a replacement payee that wants one of the
-        requestor's ``offerings``, or forgive the obligation.
+        requestor's offerings — its completed pieces plus ``extra``
+        (the exchange's own piece, when it counts as offerable) — or
+        forgive the obligation.
 
-        ``exclude`` carries the requestor's veto list — neighbors whose
-        pending window at the requestor is full (uncooperative per the
-        requestor's own history, Sec. II-D2).  Returns the new payee
-        id, or None when forgiven.
+        ``requestor`` is the peer whose offerings back the exchange;
+        ``None`` means there is nothing to offer and forgiveness is
+        forced.  ``exclude`` carries the requestor's veto list —
+        neighbors whose pending window at the requestor is full
+        (uncooperative per the requestor's own history, Sec. II-D2).
+        Returns the new payee id, or None when forgiven.
         """
         ledger = self.state.ledger
-        candidates = []
-        direct = (bool(offerings & self.book.wanted()) and self.active
-                  and self.id not in exclude)
+        swarm = self.swarm
+        direct = (self.active and self.id not in exclude
+                  and requestor is not None
+                  and offers_interest(swarm, requestor, extra, self))
         if direct:
             new_payee: Optional[str] = self.id
+        elif requestor is None:
+            new_payee = None
         else:
-            for peer in self.neighbor_peers():
-                if peer.id in (self.id, tx.requestor_id):
-                    continue
-                if peer.id in exclude:
-                    continue
-                if not self.flow.eligible(peer.id):
-                    continue
-                if not self.cooperative(peer.id):
-                    continue
-                if peer.book.wanted() & offerings:
-                    candidates.append(peer.id)
-            new_payee = (self.sim.rng.choice(sorted(candidates))
-                         if candidates else None)
+            index = swarm.interest
+            candidates = []
+            if index is not None:
+                row = index.row(requestor.id)
+                wanter_sets = [index.wanters(p) for p in extra]
+                blocked = self._flow_blocked
+                banned = self._banned_until
+                now = self.sim.now
+                for nid in swarm.topology.sorted_neighbors(self.id):
+                    if nid == tx.requestor_id or nid in exclude \
+                            or nid in blocked:
+                        continue
+                    if banned and now < banned.get(nid, 0.0):
+                        continue
+                    if nid in row or any(nid in s
+                                         for s in wanter_sets):
+                        candidates.append(nid)
+                new_payee = (self.sim.rng.choice(candidates)
+                             if candidates else None)
+            else:
+                for peer in self.neighbor_peers():
+                    if peer.id in (self.id, tx.requestor_id):
+                        continue
+                    if peer.id in exclude:
+                        continue
+                    if not self.flow.eligible(peer.id):
+                        continue
+                    if not self.cooperative(peer.id):
+                        continue
+                    if offers_interest(swarm, requestor, extra, peer):
+                        candidates.append(peer.id)
+                new_payee = (self.sim.rng.choice(sorted(candidates))
+                             if candidates else None)
         if new_payee is None:
             key = ledger.forgive(tx.transaction_id, self.sim.now)
             self.swarm.metrics.recovery.forgives += 1
@@ -638,13 +738,23 @@ class _TChainNode(Peer):
         requestor = self.swarm.find_peer(tx.requestor_id)
         if requestor is None or not requestor.active:
             return None
-        offerings = set(requestor.book.completed)
-        offerings.add(tx.piece_index)
+        index = self.swarm.interest
+        if index is not None:
+            row = index.row(requestor.id)
+            piece_wanters = index.wanters(tx.piece_index)
+            ids = [nid for nid in
+                   self.swarm.topology.sorted_neighbors(self.id)
+                   if nid != tx.requestor_id
+                   and (nid in row or nid in piece_wanters)]
+            if not ids:
+                return None
+            return self.swarm.find_peer(self.sim.rng.choice(ids))
+        extra = (tx.piece_index,)
         candidates = []
         for peer in self.neighbor_peers():
             if peer.id in (self.id, tx.requestor_id):
                 continue
-            if peer.book.wanted() & offerings:
+            if offers_interest(self.swarm, requestor, extra, peer):
                 candidates.append(peer)
         if not candidates:
             return None
@@ -761,9 +871,13 @@ class TChainLeecher(BaselineLeecher, _TChainNode):
     # Serving
     # ------------------------------------------------------------------
     def next_upload(self) -> Optional[UploadPlan]:
-        plan = self._next_obligation_upload()
-        if plan is not None:
-            return plan
+        # With no obligations the fulfilment scan is a guaranteed
+        # no-op (and schedules no retry), so skip the call entirely —
+        # this is the common case for every post-payload pump.
+        if self.obligations:
+            plan = self._next_obligation_upload()
+            if plan is not None:
+                return plan
         if self.swarm.config.opportunistic_seeding \
                 and should_opportunistically_seed(
                     self.book.completed_count, len(self.obligations)):
@@ -810,9 +924,7 @@ class TChainLeecher(BaselineLeecher, _TChainNode):
         forward = None
         if self.book.completed_count == 0:
             forward = tx  # newcomer: forward the sealed piece itself
-        offerings = set(self.book.completed)
-        if forward is not None:
-            offerings.add(tx.piece_index)
+        extra = (tx.piece_index,) if forward is not None else ()
 
         payee = self.swarm.find_peer(tx.payee_id)
         # The payee is unusable if gone, satisfied, or — the adaptive
@@ -820,12 +932,20 @@ class TChainLeecher(BaselineLeecher, _TChainNode):
         # actually holds the history — known to us as uncooperative
         # (our own pending window on it is full).
         payee_stale = (payee is None or not payee.active
-                       or not (payee.book.wanted() & offerings)
+                       or not offers_interest(self.swarm, self, extra,
+                                              payee)
                        or not self.flow.eligible(payee.id))
         if payee_stale:
-            banned = set(
-                p.id for p in self.neighbor_peers()
-                if not self.flow.eligible(p.id))
+            index = self.swarm.interest
+            if index is not None:
+                adjacent = self.swarm.topology.neighbors(self.id)
+                tracked = index._tracked
+                banned = set(nid for nid in self._flow_blocked
+                             if nid in adjacent and nid in tracked)
+            else:
+                banned = set(
+                    p.id for p in self.neighbor_peers()
+                    if not self.flow.eligible(p.id))
             if payee is not None:
                 banned.add(payee.id)  # whatever made it stale persists
             banned = frozenset(banned)
@@ -840,7 +960,7 @@ class TChainLeecher(BaselineLeecher, _TChainNode):
             else:
                 _orphan_exchange(self.state, tx)
                 return None
-            new_payee = holder.reassign_or_forgive(tx, offerings,
+            new_payee = holder.reassign_or_forgive(tx, self, extra,
                                                    exclude=banned)
             if new_payee is None:
                 return None
@@ -852,7 +972,7 @@ class TChainLeecher(BaselineLeecher, _TChainNode):
             # only happens via reassignment races — forgive instead.
             donor = self.swarm.find_peer(tx.donor_id)
             if donor is not None and donor.active:
-                donor.reassign_or_forgive(tx, set())
+                donor.reassign_or_forgive(tx, None)
             else:
                 _orphan_exchange(self.state, tx)
             return None
@@ -874,14 +994,23 @@ class TChainLeecher(BaselineLeecher, _TChainNode):
         keeps voluntary donations from being farmed by free-riders.
         """
         candidates = self._eligible_requestors()
-        my_wanted = self.book.wanted()
+        index = self.swarm.interest
         direct, fallback = [], []
-        for candidate_id in candidates:
-            peer = self.swarm.find_peer(candidate_id)
-            if peer is not None and my_wanted & peer.book.completed:
-                direct.append(candidate_id)
-            else:
-                fallback.append(candidate_id)
+        if index is not None:
+            my_id = self.id
+            for candidate_id in candidates:
+                if my_id in index.row(candidate_id):
+                    direct.append(candidate_id)
+                else:
+                    fallback.append(candidate_id)
+        else:
+            my_wanted = self.book.wanted()
+            for candidate_id in candidates:
+                peer = self.swarm.find_peer(candidate_id)
+                if peer is not None and my_wanted & peer.book.completed:
+                    direct.append(candidate_id)
+                else:
+                    fallback.append(candidate_id)
         for pool in (direct, fallback):
             while pool:
                 requestor_id = self.sim.rng.choice(pool)

@@ -16,6 +16,7 @@ from typing import Any, Callable, Dict, List, Optional, Tuple
 
 from repro.analysis.metrics import SwarmMetrics
 from repro.bt.config import SwarmConfig
+from repro.bt.interest import InterestIndex
 from repro.bt.peer import Peer
 from repro.bt.torrent import Torrent
 from repro.bt.tracker import Tracker
@@ -35,6 +36,15 @@ class Swarm:
         self.topology = Topology(config.max_neighbors,
                                  config.refill_threshold)
         self.topology.on_disconnect = self._notify_disconnect
+        #: Incremental interest index (see :mod:`repro.bt.interest`).
+        #: On by default; ``extra={"interest_index": False}`` selects
+        #: the naive-rescan reference paths (the trace-equality tests
+        #: and the bench equivalence leg run both).
+        self.interest: Optional[InterestIndex] = None
+        if config.extra.get("interest_index", True):
+            self.interest = InterestIndex(self)
+            self.topology.on_edge_added = self.interest.on_edge_added
+            self.topology.on_edge_removed = self.interest.on_edge_removed
         self.metrics = SwarmMetrics()
         self.peers: Dict[str, Peer] = {}
         self.departed: Dict[str, Peer] = {}
@@ -72,11 +82,26 @@ class Swarm:
         self.peers[peer.id] = peer
         self.topology.add_peer(peer.id,
                                unlimited=peer.unlimited_neighbors)
+        if self.interest is not None:
+            self.interest.add_peer(peer)
         if peer.kind != "seeder":
             self.active_leechers += 1
 
+    def note_deactivated(self, peer: Peer) -> None:
+        """A peer flipped ``active = False`` (leave/crash/whitewash).
+
+        Fired *immediately* after deactivation, before transfer
+        cancellations pump other peers, so the interest index drops
+        the peer in the same instant ``neighbor_peers()`` stops
+        returning it.
+        """
+        if self.interest is not None:
+            self.interest.remove_peer(peer)
+
     def deregister(self, peer: Peer) -> None:
         """Called by ``Peer.leave``."""
+        if self.interest is not None:
+            self.interest.remove_peer(peer)  # idempotent backstop
         self.peers.pop(peer.id, None)
         self.topology.remove_peer(peer.id)
         self.departed[peer.id] = peer
@@ -134,6 +159,10 @@ class Swarm:
         peer.id = new_id
         self.peers[new_id] = peer
         self.topology.add_peer(new_id, unlimited=peer.unlimited_neighbors)
+        if self.interest is not None:
+            # Re-snapshots the live book, absorbing mutations made
+            # while the peer was untracked mid-whitewash.
+            self.interest.add_peer(peer)
         members = self.tracker.announce(new_id)
         self.tracker.join(new_id)
         for member in members:
@@ -200,22 +229,25 @@ class Swarm:
         limit = max_time if max_time is not None \
             else self.config.max_sim_time_s
         quiet = self.config.extra.get("quiet_window_s", 300.0)
+        sim = self.sim
+        peek_time = sim.peek_time
+        step = sim.step
         while True:
-            if limit is not None and self.sim.now >= limit:
+            if limit is not None and sim.now >= limit:
                 break
             if stop_when_drained and self.active_leechers == 0 \
                     and not self._arrivals_pending():
                 break
-            head_time = self.sim.peek_time()
+            head_time = peek_time()
             if head_time is None:
                 break
             if limit is not None and head_time > limit:
-                self.sim.now = limit
+                sim.now = limit
                 break
             if quiet and not self._arrivals_pending() \
                     and head_time - self.last_activity > quiet:
                 break
-            self.sim.step()
+            step()
 
     def _arrivals_pending(self) -> bool:
         """Workloads flag future arrivals so we do not stop early."""

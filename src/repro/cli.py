@@ -43,7 +43,7 @@ Examples
     python -m repro models
     python -m repro lint src/ --disable SL004
     python -m repro chaos --seeds 0 1 2 3 --workers 4
-    python -m repro bench --quick --out BENCH_PR3.json
+    python -m repro bench --quick --out BENCH_PR5.json
 """
 
 from __future__ import annotations
@@ -169,8 +169,8 @@ def build_parser() -> argparse.ArgumentParser:
                          help="CI smoke matrix (smaller, 1 repetition)")
     bench_p.add_argument("--repeat", type=int, default=3,
                          help="repetitions per workload (best-of)")
-    bench_p.add_argument("--out", default="BENCH_PR3.json",
-                         help="report path (default: BENCH_PR3.json)")
+    bench_p.add_argument("--out", default="BENCH_PR5.json",
+                         help="report path (default: BENCH_PR5.json)")
     bench_p.add_argument("--workers", type=int, default=None,
                          help="workers for the parallel leg (default: "
                               "min(4, cpus))")
@@ -482,6 +482,10 @@ def cmd_bench(args) -> int:
          f"{par['speedup']:.2f}x vs serial"),
         ("parallel == serial (bit-identical)", par["identical"]),
     ])
+    equiv = report["index_equivalence"]
+    rows.append((f"interest index on == off "
+                 f"({equiv['events_compared']} events)",
+                 equiv["identical"]))
     lint = report["lint_deep"]
     if "skipped" not in lint:
         rows.extend([

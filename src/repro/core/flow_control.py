@@ -14,7 +14,7 @@ no reputation system or information sharing required.
 
 from __future__ import annotations
 
-from typing import Dict, Iterable, List
+from typing import Callable, Dict, Iterable, List, Optional
 
 DEFAULT_PENDING_LIMIT = 2
 """The paper's k = 2 (Sec. II-D2)."""
@@ -34,10 +34,19 @@ class FlowController:
             raise ValueError("pending_limit must be >= 1")
         self.pending_limit = pending_limit
         self._pending: Dict[str, int] = {}
+        #: Fired as ``(neighbor_id, blocked)`` whenever a neighbor
+        #: crosses the window boundary in either direction — i.e. only
+        #: when ``eligible(neighbor_id)`` actually flips.  The interest
+        #: index machinery mirrors eligibility into a per-donor blocked
+        #: set through this hook.
+        self.on_window_change: Optional[Callable[[str, bool], None]] = None
 
     def on_piece_sent(self, neighbor_id: str) -> None:
         """An encrypted piece was uploaded to ``neighbor_id``."""
-        self._pending[neighbor_id] = self._pending.get(neighbor_id, 0) + 1
+        count = self._pending.get(neighbor_id, 0) + 1
+        self._pending[neighbor_id] = count
+        if count == self.pending_limit and self.on_window_change is not None:
+            self.on_window_change(neighbor_id, True)
 
     def on_reciprocation_confirmed(self, neighbor_id: str) -> None:
         """A reciprocation notification for ``neighbor_id`` arrived."""
@@ -46,6 +55,8 @@ class FlowController:
             self._pending.pop(neighbor_id, None)
         else:
             self._pending[neighbor_id] = count - 1
+        if count == self.pending_limit and self.on_window_change is not None:
+            self.on_window_change(neighbor_id, False)
 
     def write_off(self, neighbor_id: str) -> None:
         """Write one dead exchange off the neighbor's window.
@@ -61,7 +72,10 @@ class FlowController:
 
     def forget(self, neighbor_id: str) -> None:
         """Drop state for a departed neighbor."""
-        self._pending.pop(neighbor_id, None)
+        count = self._pending.pop(neighbor_id, None)
+        if (count is not None and count >= self.pending_limit
+                and self.on_window_change is not None):
+            self.on_window_change(neighbor_id, False)
 
     def pending(self, neighbor_id: str) -> int:
         """Current pending count for a neighbor."""

@@ -30,7 +30,7 @@ from typing import Optional
 from repro.core.crypto import Key, SealedPiece
 
 
-@dataclass(frozen=True)
+@dataclass(frozen=True, slots=True)
 class EncryptedPieceMessage:
     """Donor → requestor: a sealed piece plus the reciprocation order.
 
@@ -60,7 +60,7 @@ class EncryptedPieceMessage:
     reciprocates: Optional[int] = None
 
 
-@dataclass(frozen=True)
+@dataclass(frozen=True, slots=True)
 class ReceptionReport:
     """Payee → previous donor: "your requestor reciprocated to me".
 
@@ -75,7 +75,7 @@ class ReceptionReport:
     truthful: bool = True
 
 
-@dataclass(frozen=True)
+@dataclass(frozen=True, slots=True)
 class KeyReleaseMessage:
     """Donor → requestor: the decryption key completing a transaction."""
 
@@ -83,7 +83,7 @@ class KeyReleaseMessage:
     key: Key
 
 
-@dataclass(frozen=True)
+@dataclass(frozen=True, slots=True)
 class PleadMessage:
     """Requestor → donor: "I reciprocated and no key ever came".
 
@@ -100,7 +100,7 @@ class PleadMessage:
     attempt: int = 1
 
 
-@dataclass(frozen=True)
+@dataclass(frozen=True, slots=True)
 class PlainPieceMessage:
     """Chain termination: an unencrypted piece, no strings attached.
 

@@ -55,7 +55,7 @@ class InvalidTransition(RuntimeError):
     """Raised when a transaction is driven through an illegal edge."""
 
 
-@dataclass
+@dataclass(slots=True)
 class Transaction:
     """One donor→requestor→payee exchange.
 

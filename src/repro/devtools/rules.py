@@ -20,6 +20,8 @@ SL008     multiprocessing/ProcessPoolExecutor outside the
 SL009     stale ``# simlint: disable=...`` comment that no longer
           suppresses any finding (warning; see
           ``--strict-suppressions``)
+SL010     ad-hoc ``book.wanted() & ...`` interest intersection inside
+          ``bt/protocols/`` (bypasses the incremental interest index)
 SL101     deep: wall-clock value reaches a schedule/rng/metrics sink
           through any number of call hops
 SL102     deep: global-``random`` value reaches a deterministic sink
@@ -689,6 +691,58 @@ class AdHocParallelismRule(Rule):
                 name = dotted_name(node) or f"<expr>.{node.attr}"
                 yield ctx.finding(
                     self, node, f"`{name}`: {self._GUIDANCE}")
+
+
+# ----------------------------------------------------------------------
+# SL010 — ad-hoc interest intersections inside protocol code
+# ----------------------------------------------------------------------
+@register
+class AdHocInterestScanRule(Rule):
+    """SL010: protocol code must not recompute interest by hand.
+
+    ``holder.completed & wanter.wanted()`` rescans are exactly what the
+    swarm-level interest index (:mod:`repro.bt.interest`) maintains
+    incrementally; a hand-rolled intersection inside ``bt/protocols/``
+    bypasses the index, costs O(pieces) per call on hot paths, and —
+    worse — silently diverges from the indexed predicates the rest of
+    the protocol uses when the index semantics evolve.  Route the check
+    through the index helpers (``wants_from`` / ``wants_any_of`` /
+    ``offers_interest`` / ``needed_overlap``) instead.  The rule flags
+    any ``&`` expression with a ``.wanted()`` call on either side in a
+    file under ``bt/protocols/``.
+    """
+
+    id = "SL010"
+    name = "adhoc-interest-scan"
+    description = ("`book.wanted() & ...` intersection inside "
+                   "bt/protocols/; use the repro.bt.interest helpers")
+
+    @staticmethod
+    def _in_protocols_package(path: str) -> bool:
+        parts = path.replace("\\", "/").split("/")
+        return "protocols" in parts[:-1] and "bt" in parts[:-1]
+
+    @staticmethod
+    def _is_wanted_call(node: ast.AST) -> bool:
+        return (isinstance(node, ast.Call)
+                and isinstance(node.func, ast.Attribute)
+                and node.func.attr == "wanted")
+
+    def check(self, ctx: FileContext) -> Iterator[Finding]:
+        if not self._in_protocols_package(ctx.path):
+            return
+        for node in ast.walk(ctx.tree):
+            if not isinstance(node, ast.BinOp) \
+                    or not isinstance(node.op, ast.BitAnd):
+                continue
+            if self._is_wanted_call(node.left) \
+                    or self._is_wanted_call(node.right):
+                yield ctx.finding(
+                    self, node,
+                    "ad-hoc `.wanted() & ...` interest intersection in "
+                    "protocol code; use the interest-index helpers "
+                    "(repro.bt.interest.wants_from / wants_any_of / "
+                    "offers_interest / needed_overlap)")
 
 
 # ----------------------------------------------------------------------

@@ -15,8 +15,13 @@ changes land with numbers instead of adjectives:
   :mod:`repro.experiments.parallel`, reporting the speedup and
   asserting the two result lists compare equal (the bit-identical
   guarantee, checked on every bench run, not just in tests).
+* **index_equivalence** — one T-Chain churn run executed twice, with
+  the incremental interest index enabled and disabled, asserting the
+  full event traces compare bit-identical (the trace-neutrality
+  guarantee of :mod:`repro.bt.interest`, checked on every bench run —
+  including the ``--quick`` CI smoke — not just in tests).
 
-Results are written as JSON (default ``BENCH_PR3.json`` in the current
+Results are written as JSON (default ``BENCH_PR5.json`` in the current
 directory) next to the frozen pre-PR baseline measured on the same
 workloads, so the delta the optimisation pass bought is visible in the
 artifact itself.  Numbers are machine-relative: compare against the
@@ -174,6 +179,53 @@ def bench_parallel(n_seeds: int, workers: Optional[int] = None
     }
 
 
+#: Scenario for the index-equivalence leg: free-riders whitewash and
+#: leechers leave on completion, so the index sees real churn.
+INDEX_EQUIV_SPEC = dict(protocol="tchain", seed=7, leechers=12,
+                        pieces=8, freerider_fraction=0.25)
+
+
+def bench_index_equivalence() -> Dict[str, object]:
+    """Trace-neutrality leg: index on vs off, bit-identical or raise.
+
+    Runs the same T-Chain churn scenario twice — once with the
+    incremental interest index, once with the naive rescans — and
+    compares the full event trace ``(time, seq, callback)`` tuples.
+    Any divergence is an index-invalidation bug, so it fails the whole
+    bench run rather than merely reporting a number.
+    """
+    from repro.experiments import run_swarm
+
+    def traced(enabled: bool) -> List[tuple]:
+        trace: List[tuple] = []
+
+        def setup(swarm):
+            swarm.sim.add_observer(
+                lambda handle: trace.append(
+                    (handle.time, handle.seq,
+                     getattr(handle.callback, "__qualname__",
+                             repr(handle.callback)))))
+
+        run_swarm(setup=setup, extra={"interest_index": enabled},
+                  **INDEX_EQUIV_SPEC)
+        return trace
+
+    start = time.perf_counter()  # simlint: disable=SL002 -- benchmark measures real wall-time by design
+    indexed = traced(True)
+    naive = traced(False)
+    wall = time.perf_counter() - start  # simlint: disable=SL002 -- see above
+    if indexed != naive:  # pragma: no cover - would be an index bug
+        raise AssertionError(
+            "interest-index run diverged from naive rescan — "
+            "trace neutrality broken")
+    return {
+        "scenario": dict(INDEX_EQUIV_SPEC),
+        "events_compared": len(indexed),
+        "identical": True,
+        "wall_time_s": round(wall, 3),
+    }
+
+
 def bench_lint_deep(paths: tuple = ("src",)) -> Dict[str, object]:
     """Cold-vs-cached smoke of ``repro lint --deep``.
 
@@ -237,6 +289,7 @@ def run_bench(quick: bool = False, repeat: int = 3,
         "engine": engine,
         "scenarios": bench_scenarios(scenarios, repeat=repeat),
         "parallel": bench_parallel(n_seeds, workers=workers),
+        "index_equivalence": bench_index_equivalence(),
         "lint_deep": bench_lint_deep(),
     }
 

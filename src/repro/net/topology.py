@@ -40,6 +40,13 @@ class Topology:
         # selection, rarest-first counting all read per event).
         self._sorted_cache: Dict[str, List[str]] = {}
         self.on_disconnect: Optional[Callable[[str, str], None]] = None
+        # Edge-change notifications for the interest index.  Unlike
+        # on_disconnect (a protocol-facing hook fired only from
+        # remove_peer), these fire on *every* edge mutation, and
+        # on_edge_removed fires *before* on_disconnect so the index is
+        # consistent when disconnect handlers re-enter (refills, pumps).
+        self.on_edge_added: Optional[Callable[[str, str], None]] = None
+        self.on_edge_removed: Optional[Callable[[str, str], None]] = None
 
     def add_peer(self, peer_id: str, unlimited: bool = False) -> None:
         """Register a peer with no neighbors yet."""
@@ -60,6 +67,8 @@ class Topology:
         for other in neighbors:
             self._adj[other].discard(peer_id)
             self._sorted_cache.pop(other, None)
+            if self.on_edge_removed is not None:
+                self.on_edge_removed(peer_id, other)
             if self.on_disconnect is not None:
                 self.on_disconnect(other, peer_id)
         self._unlimited.discard(peer_id)
@@ -91,16 +100,25 @@ class Topology:
         self._adj[b].add(a)
         self._sorted_cache.pop(a, None)
         self._sorted_cache.pop(b, None)
+        if self.on_edge_added is not None:
+            self.on_edge_added(a, b)
         return True
 
     def disconnect(self, a: str, b: str) -> None:
-        """Remove the edge a—b if present."""
+        """Remove the edge a—b if present.
+
+        Deliberately does *not* fire ``on_disconnect`` (snubbing a
+        neighbor is not a departure), but does report the edge change.
+        """
+        existed = b in self._adj.get(a, ())
         if a in self._adj:
             self._adj[a].discard(b)
             self._sorted_cache.pop(a, None)
         if b in self._adj:
             self._adj[b].discard(a)
             self._sorted_cache.pop(b, None)
+        if existed and self.on_edge_removed is not None:
+            self.on_edge_removed(a, b)
 
     def neighbors(self, peer_id: str) -> Set[str]:
         """The peer's current neighbor set (live view, do not mutate)."""

@@ -146,10 +146,22 @@ class Simulator:
     # ------------------------------------------------------------------
     def schedule(self, delay: float, callback: Callable[..., Any],
                  *args: Any) -> EventHandle:
-        """Schedule ``callback(*args)`` to fire ``delay`` from now."""
+        """Schedule ``callback(*args)`` to fire ``delay`` from now.
+
+        Duplicates :meth:`schedule_at`'s body rather than delegating:
+        this is the hottest scheduling entry point, and ``delay >= 0``
+        already guarantees the past-time check there can never fire.
+        """
         if delay < 0:
             raise SimulatorError(f"negative delay: {delay!r}")
-        return self.schedule_at(self.now + delay, callback, *args)
+        time = self.now + delay
+        seq = self._seq
+        self._seq = seq + 1
+        handle = EventHandle(time, seq, callback, args, self)
+        if self.sanitizer is not None:
+            self.sanitizer.on_schedule(handle)
+        heapq.heappush(self._heap, (time, seq, handle))
+        return handle
 
     def schedule_at(self, time: float, callback: Callable[..., Any],
                     *args: Any) -> EventHandle:
@@ -214,8 +226,9 @@ class Simulator:
                 continue
             if self.sanitizer is not None:
                 self.sanitizer.on_event(handle)
-            for observer in self._observers:
-                observer(handle)
+            if self._observers:
+                for observer in self._observers:
+                    observer(handle)
             self.now = handle.time
             callback, args = handle.callback, handle.args
             # Mark consumed before user code runs (no cancellation

@@ -138,6 +138,55 @@ class TestChoker:
         choker.forget("B")
         assert choker.all_unchoked() == set()
 
+    def test_rotation_excludes_incumbent(self):
+        """A rotation must actually rotate: with other choked
+        interested neighbors available, the incumbent optimistic is
+        never re-picked (regression: the incumbent used to stay in
+        the pool and could be re-drawn forever)."""
+        for seed in range(20):
+            choker = Choker(regular_slots=1, rng=Random(seed))
+            choker.unchoked = {"A"}
+            choker.optimistic = "B"
+            pick = choker.rotate_optimistic(["A", "B", "C", "D"])
+            assert pick in {"C", "D"}
+
+    def test_rotation_keeps_lone_incumbent(self):
+        """With the incumbent as the only choked interested neighbor,
+        it keeps the slot (dropping it would idle the slot)."""
+        choker = Choker(regular_slots=1, rng=Random(1))
+        choker.unchoked = {"A"}
+        choker.optimistic = "B"
+        assert choker.rotate_optimistic(["A", "B"]) == "B"
+
+    def test_rechoke_fill_deterministic_across_pool_order(self):
+        """The random fill draws from the sorted interested pool, so
+        the chosen set depends only on (seed, membership) — not on
+        the iteration order of the caller's container."""
+        t = ContributionTracker()
+        t.record("A", 10)
+        t.roll()
+        interested = ["A", "B", "C", "D", "E"]
+        baseline = Choker(regular_slots=3, rng=Random(7)).rechoke(
+            interested, t)
+        for reordered in (list(reversed(interested)),
+                          ["C", "A", "E", "B", "D"]):
+            again = Choker(regular_slots=3, rng=Random(7)).rechoke(
+                reordered, t)
+            assert again == baseline
+
+    def test_rechoke_fill_excludes_contributors(self):
+        """The fill pool must exclude already-chosen contributors —
+        every slot goes to a distinct neighbor."""
+        t = ContributionTracker()
+        for peer, kb in [("A", 30), ("B", 20)]:
+            t.record(peer, kb)
+        t.roll()
+        for seed in range(10):
+            choker = Choker(regular_slots=4, rng=Random(seed))
+            unchoked = choker.rechoke(["A", "B", "C", "D", "E"], t)
+            assert len(unchoked) == 4
+            assert {"A", "B"} <= unchoked
+
 
 class TestDeficitLedger:
     def test_deficit_arithmetic(self):

@@ -110,6 +110,55 @@ class TestDonationPlanning:
         assert seeder._plan_donation(sated.id) is None
 
 
+class TestNewcomerForward:
+    """Pins the newcomer-forward acceptance predicate.
+
+    Wanted / expected / completed are disjoint piece states, so the
+    forward branch's former pair of overlapping checks ("reject unless
+    wanted-or-expected", then "reject expected-but-not-wanted") reduce
+    to exactly ``piece in requestor.book.wanted()`` — these tests pin
+    that behaviour across all three states of the forwarded piece.
+    """
+
+    def forward_setup(self):
+        swarm, _ = tchain_swarm(with_seeder=False)
+        origin = add_leecher(swarm, pieces=[0])
+        newcomer = add_leecher(swarm)
+        target = add_leecher(swarm, pieces=[1])
+        ledger = TChainState.of(swarm).ledger
+        chain = ledger.begin_chain(origin.id, False, 0.0)
+        tx, _sealed = ledger.create_transaction(
+            chain, origin.id, newcomer.id, target.id, 0, 0.0)
+        return swarm, newcomer, target, tx
+
+    def test_forward_rejected_when_piece_expected(self):
+        swarm, newcomer, target, tx = self.forward_setup()
+        target.book.expect(0)  # in flight from elsewhere: not wanted
+        plan = newcomer._plan_donation(target.id, reciprocates=tx,
+                                       forward_of=tx)
+        assert plan is None
+
+    def test_forward_rejected_when_piece_completed(self):
+        swarm, newcomer, target, tx = self.forward_setup()
+        target.book.add_completed(0)
+        plan = newcomer._plan_donation(target.id, reciprocates=tx,
+                                       forward_of=tx)
+        assert plan is None
+
+    def test_forward_served_when_piece_wanted(self):
+        swarm, newcomer, target, tx = self.forward_setup()
+        assert 0 in target.book.wanted()
+        plan = newcomer._plan_donation(target.id, reciprocates=tx,
+                                       forward_of=tx)
+        assert plan is not None
+        assert plan.piece == 0
+        assert plan.receiver_id == target.id
+        # The forwarded upload reuses the original sealed piece's key.
+        ledger = TChainState.of(swarm).ledger
+        forwarded = ledger.get(plan.meta["tx"])
+        assert forwarded.key_id == tx.key_id
+
+
 class TestObligationFlow:
     def drive_one_exchange(self, swarm, seeder):
         """Run until at least one encrypted delivery lands."""

@@ -29,8 +29,10 @@ class Swarm:
 
     def __init__(self, config: SwarmConfig):
         self.config = config
+        # The raw value flows through so ``"races"`` selects the
+        # order-sensitivity reporter, not just the boolean sanitizer.
         self.sim = Simulator(seed=config.seed,
-                             sanitize=bool(config.extra.get("sanitize")))
+                             sanitize=config.extra.get("sanitize", False))
         self.torrent = Torrent(config.n_pieces, config.piece_size_kb)
         self.tracker = Tracker(self.sim.rng, config.tracker_list_size)
         self.topology = Topology(config.max_neighbors,

@@ -22,7 +22,9 @@ Commands
     injection (control-message loss/delay, upload stalls, peer
     crashes); exits nonzero unless every surviving honest leecher
     finished (docs/FAULTS.md).  ``--seeds`` sweeps several scenarios,
-    optionally across worker processes.
+    optionally across worker processes; ``--races`` also attaches the
+    runtime order-sensitivity reporter (the dynamic half of the
+    simrace SL2xx checks).
 ``bench``
     Pinned performance benchmark: engine timer-churn throughput, full
     protocol scenarios, and a serial-vs-parallel sweep with the
@@ -119,8 +121,10 @@ def build_parser() -> argparse.ArgumentParser:
                         help="print the rule catalogue and exit")
     lint_p.add_argument("--deep", action="store_true",
                         help="whole-program passes: interprocedural "
-                             "nondeterminism taint (SL101-SL104) and "
-                             "protocol conformance (SL110-SL112)")
+                             "nondeterminism taint (SL101-SL104), "
+                             "protocol conformance (SL110-SL112) and "
+                             "simrace same-instant commutativity "
+                             "(SL201-SL203)")
     lint_p.add_argument("--format", choices=("text", "json", "sarif"),
                         default="text",
                         help="report format (default: text)")
@@ -157,6 +161,10 @@ def build_parser() -> argparse.ArgumentParser:
     chaos_p.add_argument("--crashes", type=int, default=2,
                          help="seeded unclean peer crashes")
     chaos_p.add_argument("--max-time", type=float, default=None)
+    chaos_p.add_argument("--races", action="store_true",
+                         help="attach the runtime order-sensitivity "
+                              "reporter (same-instant field-footprint "
+                              "conflicts; runtime half of SL2xx)")
     chaos_p.add_argument("--seeds", type=int, nargs="+", default=None,
                          help="sweep several seeds (overrides --seed)")
     chaos_p.add_argument("--workers", type=int, default=None,
@@ -437,7 +445,7 @@ def cmd_chaos(args) -> int:
         control_loss_prob=args.loss, control_delay_prob=args.delay,
         control_delay_s=args.delay_s, upload_stall_prob=args.stall,
         upload_stall_s=args.stall_s, crashes=args.crashes,
-        max_time=args.max_time) for seed in seeds]
+        max_time=args.max_time, races=args.races) for seed in seeds]
     summaries = run_chaos_specs(specs, workers=args.workers)
     for chaos in summaries:
         title = "chaos smoke run"
@@ -453,6 +461,11 @@ def cmd_chaos(args) -> int:
               f"crashes={chaos.crashes_executed}; "
               f"{chaos.sanitizer_checks} sanitizer checks, "
               f"0 violations")
+        if args.races:
+            print(f"same-instant race conflicts: "
+                  f"{chaos.race_conflicts}")
+            for desc in chaos.race_descriptions:
+                print(f"  {desc}")
         if chaos is not summaries[-1]:
             print()
     return 0 if all(chaos.passed for chaos in summaries) else 1
@@ -494,6 +507,21 @@ def cmd_bench(args) -> int:
             ("lint --deep cached",
              f"{lint['cached_s']:.3f}s ({lint['speedup']}x)"),
         ])
+    race = report["simrace"]
+    static = race["static"]
+    if "skipped" not in static:
+        rows.append(
+            (f"simrace static pass ({static['files']} files, "
+             f"{static['findings']} findings)",
+             f"{static['races_pass_s']:.3f}s cold, "
+             f"{static['deep_cached_s']:.3f}s cached"))
+    rows.extend([
+        ("simrace runtime overhead (sanitize vs plain)",
+         f"{race['sanitize_overhead']:.2f}x"),
+        ("simrace runtime overhead (races vs sanitize)",
+         f"{race['races_overhead_vs_sanitize']:.2f}x"),
+        ("simrace fast path untouched when disabled", True),
+    ])
     print(format_table(["benchmark", "value"], rows,
                        title="repro bench"
                              + (" --quick" if args.quick else "")))

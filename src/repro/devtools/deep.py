@@ -1,20 +1,25 @@
 """Whole-program driver behind ``repro lint --deep``.
 
-Composes the three analysis passes over one file set:
+Composes the analysis passes over one file set:
 
 * per-file rule findings (SL0xx, via :mod:`repro.devtools.rules`);
 * protocol state-machine conformance (SL110-series, file-local, via
   :func:`repro.devtools.protocol_spec.check_file`);
 * interprocedural nondeterminism taint (SL101–SL104, whole-program,
-  via :mod:`repro.devtools.taint`).
+  via :mod:`repro.devtools.taint`);
+* same-instant commutativity races (SL201–SL203, whole-program, via
+  :mod:`repro.devtools.races` over the effect summaries of
+  :mod:`repro.devtools.effects`).
 
 Caching model — honest about scope:
 
 * rule and protocol findings are **file-local**, so they are cached
   per file under the file's content sha256;
-* taint findings depend on the entire call graph, so they are cached
-  under a whole-project fingerprint (the hash of every file's hash);
-  touching *any* file re-runs the taint pass globally.
+* taint and race findings depend on the entire call graph, so each is
+  cached under a whole-project fingerprint (the hash of every file's
+  hash); touching *any* file re-runs those passes globally (the
+  :class:`~repro.devtools.callgraph.ProjectIndex` is built once and
+  shared when both miss).
 
 Suppression comments are re-read every run (they live in the files,
 so an edited comment changes the hash anyway) and usage is tracked
@@ -36,15 +41,17 @@ from repro.devtools.analyzer import (SuppressionIndex, iter_python_files,
 from repro.devtools.callgraph import ProjectIndex
 from repro.devtools.output import severity_of
 from repro.devtools.protocol_spec import check_file as check_protocol_file
+from repro.devtools.races import run_races
 from repro.devtools.rules import Finding
 from repro.devtools.taint import run_taint
 
-CACHE_VERSION = 1
+CACHE_VERSION = 2
 DEFAULT_CACHE = ".simlint-cache.json"
 
 #: Deep-only rule ids (metadata-registered in rules.py; produced here).
 DEEP_RULES = ("SL101", "SL102", "SL103", "SL104",
-              "SL110", "SL111", "SL112")
+              "SL110", "SL111", "SL112",
+              "SL201", "SL202", "SL203")
 
 
 def _sha256(text: str) -> str:
@@ -82,6 +89,7 @@ class _Cache:
         self.meta = {"version": CACHE_VERSION, "enabled": enabled_key}
         self.files: Dict[str, Dict[str, object]] = {}
         self.taint: Dict[str, object] = {}
+        self.races: Dict[str, object] = {}
         if path is None or not os.path.isfile(path):
             return
         try:
@@ -93,10 +101,13 @@ class _Cache:
             return
         files = data.get("files")
         taint = data.get("taint")
+        races = data.get("races")
         if isinstance(files, dict):
             self.files = files
         if isinstance(taint, dict):
             self.taint = taint
+        if isinstance(races, dict):
+            self.races = races
 
     def file_entry(self, path: str, digest: str
                    ) -> Optional[Dict[str, object]]:
@@ -106,10 +117,12 @@ class _Cache:
         return None
 
     def save(self, files: Dict[str, Dict[str, object]],
-             taint: Dict[str, object]) -> None:
+             taint: Dict[str, object],
+             races: Dict[str, object]) -> None:
         if self.path is None:
             return
-        payload = {"meta": self.meta, "files": files, "taint": taint}
+        payload = {"meta": self.meta, "files": files, "taint": taint,
+                   "races": races}
         try:
             with open(self.path, "w", encoding="utf-8") as handle:
                 json.dump(payload, handle, sort_keys=True)
@@ -167,25 +180,36 @@ def run_deep(paths: Sequence[str],
         new_file_cache[path] = {"hash": digests[path],
                                 "findings": _encode(findings)}
 
-    # Whole-project fingerprint: any content change re-runs taint.
+    # Whole-project fingerprint: any content change re-runs the
+    # whole-program passes (taint, races); one shared index serves
+    # both when both miss.
     project_hash = _sha256(json.dumps(
         [[p.replace(os.sep, "/"), digests[p]] for p in files]))
     taint_reused = cache.taint.get("fingerprint") == project_hash
-    if taint_reused:
-        taint_findings = _decode(cache.taint.get("findings", []))
-    else:
+    races_reused = cache.races.get("fingerprint") == project_hash
+    index = None
+    if not (taint_reused and races_reused):
         clean = [(p, sources[p]) for p in files
                  if not (per_file[p] and per_file[p][0].rule == "SL000")]
         index = ProjectIndex.build(clean)
+    if taint_reused:
+        taint_findings = _decode(cache.taint.get("findings", []))
+    else:
         taint_findings = _rule_filter(run_taint(index), enabled_list)
+    if races_reused:
+        races_findings = _decode(cache.races.get("findings", []))
+    else:
+        races_findings = _rule_filter(run_races(index), enabled_list)
     cache.save(new_file_cache,
                {"fingerprint": project_hash,
-                "findings": _encode(taint_findings)})
+                "findings": _encode(taint_findings)},
+               {"fingerprint": project_hash,
+                "findings": _encode(races_findings)})
 
     # Suppression filtering + usage accounting across every pass.
     all_findings: List[Finding] = []
     taint_by_path: Dict[str, List[Finding]] = {}
-    for finding in taint_findings:
+    for finding in taint_findings + races_findings:
         taint_by_path.setdefault(finding.path, []).append(finding)
     for path in files:
         idx = SuppressionIndex(path, sources[path].splitlines())
@@ -204,6 +228,7 @@ def run_deep(paths: Sequence[str],
         "files_reused": reused,
         "files_analyzed": len(files) - reused,
         "taint_reused": taint_reused,
+        "races_reused": races_reused,
         "cache": cache_path,
     }
     return report

@@ -34,6 +34,12 @@ SL110     deep: ``release_key`` reachable without proof of a
 SL111     deep: ``reopen`` driven outside the plead path
 SL112     deep: handler drives a transition the exchange lifecycle
           forbids outright
+SL201     simrace: co-schedulable handlers write conflicting state
+          (same-instant firing order changes the final value)
+SL202     simrace: co-schedulable read/write overlap (what one
+          handler observes depends on seq order)
+SL203     simrace: periodic handler provably unsafe to coalesce
+          (the safety gate for ROADMAP item 1's event coalescing)
 ========  ==========================================================
 
 Rules are small classes registered in :data:`RULES`; adding a rule is
@@ -877,6 +883,63 @@ class ProtocolIllegalTransitionRule(MetaRule):
     name = "protocol-illegal-transition"
     description = ("ledger op whose proven state set excludes every "
                    "legal source state (--deep, protocol conformance)")
+
+
+@register
+class RaceConflictingWritesRule(MetaRule):
+    """SL201: two handlers that can fire at the same instant both
+    write a matching state field (and the writes do not commute).
+
+    The engine's ``(time, seq)`` tie-break makes the outcome
+    deterministic *today*, but the order is load-bearing: coalescing,
+    batching, or any reordering of same-instant events changes the
+    final value.  Emitted by the simrace pass of ``repro lint
+    --deep``; the diagnostic carries both schedule-site→field effect
+    chains.
+    """
+
+    id = "SL201"
+    name = "race-conflicting-writes"
+    description = ("co-schedulable handlers write conflicting state "
+                   "(--deep, simrace)")
+
+
+@register
+class RaceReadWriteOverlapRule(MetaRule):
+    """SL202: a handler reads state that a co-schedulable handler
+    writes — what the reader observes depends on the same-instant
+    ``seq`` order.
+
+    Relies on the engine's same-time FIFO contract (pinned by the
+    property tests in ``tests/test_engine_ordering.py``); any
+    transform that breaks that contract flips these reads.  Emitted
+    by the simrace pass of ``repro lint --deep``.
+    """
+
+    id = "SL202"
+    name = "race-read-write-overlap"
+    description = ("co-schedulable handler reads state another "
+                   "writes at the same instant (--deep, simrace)")
+
+
+@register
+class RaceUncoalescableTimerRule(MetaRule):
+    """SL203: a periodic timer handler is provably unsafe to coalesce.
+
+    Collapsing N same-tick invocations into one batch (the ROADMAP
+    item 1 scaling transform) is only trace-safe when the invocations
+    commute with each other: a handler that draws from the shared
+    rng, plainly writes shared/unknown-receiver state, or reads what
+    another instance's invocation writes, does not.  Emitted by the
+    simrace pass of ``repro lint --deep``; a baselined SL203 is the
+    checked-in inventory of timers the coalescing optimizer must not
+    touch.
+    """
+
+    id = "SL203"
+    name = "race-uncoalescable-timer"
+    description = ("periodic handler provably unsafe to coalesce "
+                   "(--deep, simrace; ROADMAP item 1 gate)")
 
 
 def all_rule_ids() -> List[str]:

@@ -262,6 +262,100 @@ def bench_lint_deep(paths: tuple = ("src",)) -> Dict[str, object]:
     }
 
 
+#: Scenario for the simrace runtime-overhead leg.  Small on purpose:
+#: it runs three times (plain / sanitizer / sanitizer + race reporter).
+SIMRACE_SPEC = dict(protocol="tchain", seed=11, leechers=10, pieces=8,
+                    freerider_fraction=0.2)
+
+
+def bench_simrace() -> Dict[str, object]:
+    """simrace cost model: static pass timing plus runtime overhead.
+
+    Static half: build the project index over ``src`` and time one
+    whole-program :func:`repro.devtools.races.run_races` pass cold,
+    then verify through a cold/warm ``run_deep`` pair that the races
+    findings replay from the cache (``races_reused``).
+
+    Runtime half: the same small T-Chain swarm three ways — plain
+    (observer-free fast path), fair-exchange sanitizer, sanitizer plus
+    :class:`~repro.devtools.sanitizer.RaceReporter` — reporting the
+    overhead ratios.  It *asserts* the plain run attaches nothing
+    (fast path untouched when disabled), that the reporter's class
+    patches are gone afterwards, and that all three runs fire the
+    same number of events (the reporter only observes, never
+    perturbs).
+    """
+    from tempfile import TemporaryDirectory
+
+    from repro.devtools import sanitizer as sanitizer_mod
+    from repro.devtools.analyzer import iter_python_files
+    from repro.devtools.callgraph import ProjectIndex
+    from repro.devtools.deep import run_deep
+    from repro.devtools.races import run_races
+    from repro.experiments.runner import run_swarm
+
+    if not os.path.exists("src"):  # bench invoked outside the repo root
+        static: Dict[str, object] = {"skipped": "src does not exist here"}
+    else:
+        files = iter_python_files(["src"])
+        sources = []
+        for path in files:
+            with open(path, "r", encoding="utf-8") as fh:
+                sources.append((path, fh.read()))
+        start = time.perf_counter()  # simlint: disable=SL002 -- benchmark measures real wall-time by design
+        index = ProjectIndex.build(sources)
+        index_s = time.perf_counter() - start  # simlint: disable=SL002 -- see above
+        start = time.perf_counter()  # simlint: disable=SL002 -- see above
+        findings = run_races(index)
+        races_s = time.perf_counter() - start  # simlint: disable=SL002 -- see above
+        with TemporaryDirectory() as tmp:
+            cache = os.path.join(tmp, "simlint-cache.json")
+            run_deep(["src"], cache_path=cache)
+            start = time.perf_counter()  # simlint: disable=SL002 -- see above
+            warm = run_deep(["src"], cache_path=cache)
+            warm_s = time.perf_counter() - start  # simlint: disable=SL002 -- see above
+        if not warm.stats["races_reused"]:  # pragma: no cover - cache bug
+            raise AssertionError("warm --deep run re-ran the races pass")
+        static = {
+            "files": len(files),
+            "findings": len(findings),
+            "index_build_s": round(index_s, 3),
+            "races_pass_s": round(races_s, 3),
+            "deep_cached_s": round(warm_s, 3),
+        }
+
+    def timed(sanitize):
+        start = time.perf_counter()  # simlint: disable=SL002 -- benchmark measures real wall-time by design
+        result = run_swarm(sanitize=sanitize, **SIMRACE_SPEC)
+        return result, time.perf_counter() - start  # simlint: disable=SL002 -- see above
+
+    plain, plain_s = timed(False)
+    sanitized, sanitized_s = timed(True)
+    raced, raced_s = timed("races")
+    sim = plain.swarm.sim
+    if sim.sanitizer is not None or sim.races is not None:
+        raise AssertionError(
+            "plain run attached instrumentation — fast path not clean")
+    if sanitizer_mod._PATCHED:  # pragma: no cover - uninstall bug
+        raise AssertionError(
+            "race reporter left classes patched after the run")
+    fired = {r.swarm.sim.events_fired for r in (plain, sanitized, raced)}
+    if len(fired) != 1:  # pragma: no cover - reporter perturbed the run
+        raise AssertionError(
+            f"instrumented runs diverged in event count: {fired}")
+    return {
+        "static": static,
+        "scenario": dict(SIMRACE_SPEC),
+        "events_fired": plain.swarm.sim.events_fired,
+        "plain_s": round(plain_s, 3),
+        "sanitize_s": round(sanitized_s, 3),
+        "races_s": round(raced_s, 3),
+        "sanitize_overhead": round(sanitized_s / plain_s, 2),
+        "races_overhead_vs_sanitize": round(raced_s / sanitized_s, 2),
+        "conflicts_observed": raced.swarm.sim.races.total_conflicts,
+    }
+
+
 def run_bench(quick: bool = False, repeat: int = 3,
               workers: Optional[int] = None) -> Dict[str, object]:
     """Execute the full benchmark matrix and return the report dict."""
@@ -291,6 +385,7 @@ def run_bench(quick: bool = False, repeat: int = 3,
         "parallel": bench_parallel(n_seeds, workers=workers),
         "index_equivalence": bench_index_equivalence(),
         "lint_deep": bench_lint_deep(),
+        "simrace": bench_simrace(),
     }
 
 

@@ -284,6 +284,7 @@ class ChaosSpec:
     upload_stall_s: float = 5.0
     crashes: int = 2
     max_time: Optional[float] = None
+    races: bool = False
 
 
 @dataclass
@@ -298,6 +299,8 @@ class ChaosSummary:
     sanitizer_checks: int
     recovery: Dict[str, int]
     rows: List[tuple]
+    race_conflicts: int = 0
+    race_descriptions: Tuple[str, ...] = ()
     wall_time_s: float = field(compare=False, default=0.0)
 
 
@@ -316,6 +319,8 @@ def execute_chaos(spec: ChaosSpec) -> ChaosSummary:
         sanitizer_checks=chaos.sanitizer_checks,
         recovery=chaos.counters.as_dict(),
         rows=chaos.summary_rows(),
+        race_conflicts=chaos.race_conflict_count,
+        race_descriptions=tuple(chaos.race_conflicts),
         wall_time_s=wall,
     )
 

@@ -150,7 +150,7 @@ def run_swarm(protocol: str = "tchain",
               trace_horizon_s: float = 2000.0,
               config: Optional[SwarmConfig] = None,
               setup: Optional[Callable[[Swarm], None]] = None,
-              sanitize: bool = False,
+              sanitize: object = False,
               fault_plan=None,
               **config_overrides) -> RunResult:
     """Run one full swarm simulation.
@@ -159,7 +159,10 @@ def run_swarm(protocol: str = "tchain",
     ``setup`` runs after the seeder joins but before leecher arrivals
     (used by experiments that need custom instrumentation).
     ``sanitize`` runs the whole swarm under the simulation sanitizer
-    (see :mod:`repro.devtools.sanitizer`).  ``fault_plan`` attaches a
+    (see :mod:`repro.devtools.sanitizer`); the string ``"races"``
+    additionally attaches the same-instant order-sensitivity reporter
+    (:class:`~repro.devtools.sanitizer.RaceReporter`, the runtime
+    counterpart of the SL2xx static checks).  ``fault_plan`` attaches a
     :class:`repro.faults.FaultPlan` through a fresh
     :class:`~repro.faults.FaultInjector`; an idle plan leaves the
     event trace bit-identical to a run without one (docs/FAULTS.md).
@@ -174,8 +177,9 @@ def run_swarm(protocol: str = "tchain",
                               piece_size_kb=piece_size_kb, seed=seed,
                               **config_overrides)
     if sanitize:
+        # Keep the raw value: "races" means sanitizer + RaceReporter.
         config = config.with_overrides(
-            extra={**config.extra, "sanitize": True})
+            extra={**config.extra, "sanitize": sanitize})
     swarm = Swarm(config)
     if fault_plan is not None:
         from repro.faults.injector import FaultInjector
@@ -221,8 +225,14 @@ def run_swarm(protocol: str = "tchain",
             config.seeder_capacity_kbps, per_leecher), 10.0)
         max_time += schedule.last_arrival
 
-    swarm.run(max_time=max_time)
-    swarm.metrics.finalize_active(swarm)
+    try:
+        swarm.run(max_time=max_time)
+        swarm.metrics.finalize_active(swarm)
+    finally:
+        # The race reporter patches watched *classes*; unpatch even on
+        # a sanitizer abort so later runs in this process are clean.
+        if swarm.sim.races is not None:
+            swarm.sim.races.uninstall()
     return RunResult(protocol=protocol, config=config, swarm=swarm,
                      n_compliant=n_compliant, n_freeriders=n_free)
 

@@ -8,6 +8,14 @@ and reports whether every *surviving* honest leecher finished despite
 the injected loss, delays, stalls and crashes.  CI runs it as a smoke
 job (``repro chaos``); the acceptance tests pin seeds and assert the
 recovery counters are nonzero and reproducible.
+
+``races=True`` runs the swarm with ``sanitize="races"``: the
+:class:`~repro.devtools.sanitizer.RaceReporter` records per-event
+field footprints inside each same-instant batch and surfaces
+conflicting accesses on :attr:`ChaosResult.race_conflicts` — the
+runtime counterpart of the SL201–SL203 static checks, exercised here
+because fault-driven reschedules are exactly what perturbs
+same-instant orderings.
 """
 
 from __future__ import annotations
@@ -53,7 +61,7 @@ class ChaosResult:
         """(label, value) rows for the CLI report."""
         counters = self.counters
         survivors = self.survivor_records
-        return [
+        rows = [
             ("seed", self.result.config.seed),
             ("survivors finished",
              f"{self.survivors_finished}/{len(survivors)}"),
@@ -73,12 +81,41 @@ class ChaosResult:
              f"{counters.orphaned_chains}"),
             ("sanitizer checks", self.sanitizer_checks),
         ]
+        reporter = self.race_reporter
+        if reporter is not None:
+            rows.append(("same-instant race conflicts",
+                         f"{reporter.total_conflicts}"
+                         f" ({len(reporter.conflicts)} distinct,"
+                         f" {reporter.events_seen} events watched)"))
+        return rows
 
     @property
     def sanitizer_checks(self) -> int:
         """Invariant checks the sanitizer ran (0 means it was off)."""
         sanitizer = self.result.swarm.sim.sanitizer
         return sanitizer.checks_run if sanitizer is not None else 0
+
+    @property
+    def race_reporter(self):
+        """The run's :class:`~repro.devtools.sanitizer.RaceReporter`,
+        or None when the run was not started with ``races=True``.  The
+        reporter is uninstalled (classes unpatched) by the time the
+        harness returns, but keeps its recorded conflicts."""
+        return self.result.swarm.sim.races
+
+    @property
+    def race_conflict_count(self) -> int:
+        """Total same-instant conflicting access pairs observed."""
+        reporter = self.race_reporter
+        return reporter.total_conflicts if reporter is not None else 0
+
+    @property
+    def race_conflicts(self) -> List[str]:
+        """Human-readable descriptions of the retained conflicts."""
+        reporter = self.race_reporter
+        if reporter is None:
+            return []
+        return [c.describe() for c in reporter.conflicts]
 
     @property
     def passed(self) -> bool:
@@ -110,10 +147,13 @@ def run_chaos(leechers: int = 16,
               crashes: int = 2,
               plan: Optional[FaultPlan] = None,
               max_time: Optional[float] = None,
+              races: bool = False,
               **run_kwargs) -> ChaosResult:
     """One sanitized T-Chain swarm run under fault injection.
 
-    Pass ``plan`` to override the rate knobs entirely.  Extra keyword
+    Pass ``plan`` to override the rate knobs entirely.  ``races``
+    additionally attaches the runtime order-sensitivity reporter (the
+    fair-exchange sanitizer stays on either way).  Extra keyword
     arguments flow to :func:`repro.experiments.runner.run_swarm`.
     """
     from repro.experiments.runner import run_swarm
@@ -127,7 +167,8 @@ def run_chaos(leechers: int = 16,
             upload_stall_s=upload_stall_s,
             crashes=tuple(crash_schedule(crashes)))
     result = run_swarm(protocol="tchain", leechers=leechers,
-                       pieces=pieces, seed=seed, sanitize=True,
+                       pieces=pieces, seed=seed,
+                       sanitize="races" if races else True,
                        fault_plan=plan, max_time=max_time,
                        **run_kwargs)
     return ChaosResult(result=result, plan=plan,

@@ -45,10 +45,14 @@ class EventHandle:
 
     Handles are returned by :meth:`Simulator.schedule` and
     :meth:`Simulator.schedule_at`.  They are single-shot: once fired or
-    cancelled they are inert.
+    cancelled they are inert.  The two terminal states look the same to
+    :attr:`pending` (both clear the callback); :attr:`fired`
+    distinguishes a consumed event from a cancelled one, which the
+    runtime race reporter and post-mortem tooling rely on.
     """
 
-    __slots__ = ("time", "seq", "callback", "args", "cancelled", "sim")
+    __slots__ = ("time", "seq", "callback", "args", "cancelled",
+                 "fired", "sim")
 
     def __init__(self, time: float, seq: int,
                  callback: Callable[..., Any], args: tuple,
@@ -58,6 +62,7 @@ class EventHandle:
         self.callback = callback
         self.args = args
         self.cancelled = False
+        self.fired = False
         self.sim = sim
 
     def cancel(self) -> None:
@@ -81,7 +86,8 @@ class EventHandle:
         return (self.time, self.seq) < (other.time, other.seq)
 
     def __repr__(self) -> str:  # pragma: no cover - debug helper
-        state = "cancelled" if self.cancelled else "pending"
+        state = ("fired" if self.fired
+                 else "cancelled" if self.cancelled else "pending")
         return f"EventHandle(t={self.time:.6g}, seq={self.seq}, {state})"
 
 
@@ -109,15 +115,24 @@ class Simulator:
         that checks heap-time monotonicity, bandwidth/piece
         conservation and the fair-exchange invariant on every step,
         raising ``SanitizerError`` on violation.  Off by default (the
-        checks cost a few percent of run time).
+        checks cost a few percent of run time).  Pass the string
+        ``"races"`` to additionally attach a
+        :class:`repro.devtools.sanitizer.RaceReporter` that records
+        per-event field-level read/write footprints within each
+        timestamp batch and reports same-instant conflicting pairs
+        (the dynamic counterpart of ``simlint``'s SL2xx rules).
     compact:
         Enable lazy-deletion heap compaction (default on; the
         determinism harness runs with it off to prove traces are
         unaffected — see docs/PERF.md).
     """
 
-    def __init__(self, seed: int = 0, sanitize: bool = False,
+    def __init__(self, seed: int = 0, sanitize: object = False,
                  compact: bool = True):
+        if isinstance(sanitize, str) and sanitize != "races":
+            raise SimulatorError(
+                f"unknown sanitize mode {sanitize!r}; expected a bool "
+                f"or the string 'races'")
         self.now: float = 0.0
         self.rng = Random(seed)
         self.seed = seed
@@ -130,9 +145,13 @@ class Simulator:
         self._running = False
         self._observers: List[Callable[[EventHandle], None]] = []
         self.sanitizer = None
+        self.races = None
         if sanitize:
             from repro.devtools.sanitizer import SimulationSanitizer
             self.sanitizer = SimulationSanitizer(self)
+            if sanitize == "races":
+                from repro.devtools.sanitizer import RaceReporter
+                self.races = RaceReporter(self)
 
     def add_observer(self,
                      observer: Callable[[EventHandle], None]) -> None:
@@ -226,6 +245,11 @@ class Simulator:
                 continue
             if self.sanitizer is not None:
                 self.sanitizer.on_event(handle)
+            races = self.races
+            if races is not None:
+                # Must see the handle before its callback is cleared so
+                # the conflict provenance can name it.
+                races.on_event_begin(handle)
             if self._observers:
                 for observer in self._observers:
                     observer(handle)
@@ -236,7 +260,10 @@ class Simulator:
             handle.cancelled = True
             handle.callback = _noop
             handle.args = ()
+            handle.fired = True
             callback(*args)
+            if races is not None:
+                races.on_event_end()
             self._events_fired += 1
             return True
         return False
@@ -281,6 +308,7 @@ class Simulator:
                     handle.cancelled = True
                     handle.callback = _noop
                     handle.args = ()
+                    handle.fired = True
                     callback(*args)
                     fast_fired += 1
                     fired += 1

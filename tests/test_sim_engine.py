@@ -108,6 +108,26 @@ class TestCancellation:
         h1.cancel()
         assert sim.pending_events == 1
 
+    def test_fired_flag_distinguishes_outcomes(self):
+        sim = Simulator()
+        fired_h = sim.schedule(1.0, lambda: None)
+        cancelled_h = sim.schedule(2.0, lambda: None)
+        assert not fired_h.fired and not cancelled_h.fired
+        cancelled_h.cancel()
+        sim.run()
+        assert fired_h.fired and not fired_h.pending
+        assert not cancelled_h.fired and cancelled_h.cancelled
+        assert "fired" in repr(fired_h)
+
+    def test_fired_flag_set_under_observers_too(self):
+        # The slow path (step()) consumes events separately from the
+        # observer-free fast loop; both must mark the handle.
+        sim = Simulator()
+        sim.add_observer(lambda handle: None)
+        handle = sim.schedule(1.0, lambda: None)
+        sim.run()
+        assert handle.fired
+
 
 class TestRun:
     def test_run_until_stops_clock_at_until(self):

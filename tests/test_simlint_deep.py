@@ -278,10 +278,28 @@ class TestProtocolSpec:
 
 
 class TestRealTreeClean:
-    def test_deep_run_over_src_is_clean(self):
+    def test_deep_run_over_src_is_clean_modulo_baseline(self):
+        """Taint/protocol-clean; simrace findings exactly baselined.
+
+        The SL2xx findings over ``src`` are the *justified* inventory
+        of same-instant order dependence carried (with rationale) in
+        ``simlint-baseline.json``; anything beyond that set is a
+        regression this test catches.
+        """
         report = run_deep([SRC], cache_path=None)
-        assert report.findings == [], "\n".join(
-            f.format() for f in report.findings)
+        with open(os.path.join(REPO, "simlint-baseline.json"),
+                  "r", encoding="utf-8") as handle:
+            allowed = set(json.load(handle)["fingerprints"])
+        unexpected = []
+        for f in report.findings:
+            rel = os.path.relpath(f.path, REPO).replace(os.sep, "/")
+            if f"{f.rule}:{rel}:{f.line}" not in allowed:
+                unexpected.append(f)
+        assert unexpected == [], "\n".join(
+            f.format() for f in unexpected)
+        # Everything surviving the baseline is simrace inventory; the
+        # taint and protocol passes stay finding-free.
+        assert all(f.rule.startswith("SL2") for f in report.findings)
         assert report.stats["files"] > 50
 
 

@@ -29,10 +29,20 @@ Commands
     Pinned performance benchmark: engine timer-churn throughput, full
     protocol scenarios, and a serial-vs-parallel sweep with the
     bit-identical check; writes a JSON report (docs/PERF.md).
+``sweep``
+    Fault-tolerant sharded sweep through the execution fabric
+    (docs/SWEEPS.md): manifested, checkpointed, resumable.  A killed
+    sweep picks up with ``--resume <dir>``; ``--kill-prob`` injects
+    seeded worker SIGKILLs to exercise exactly that; ``--verify``
+    re-runs the matrix serially and asserts the merged summaries are
+    bit-identical.
 
-``compare``, ``figure``, ``chaos`` and ``bench`` accept ``--workers N``
-(or the ``REPRO_WORKERS`` environment knob) to fan independent runs
-out over worker processes; results are bit-identical to serial.
+``compare``, ``figure``, ``chaos``, ``sweep`` and ``bench`` accept
+``--workers N`` (or the ``REPRO_WORKERS`` environment knob) to fan
+independent runs out over worker processes — ``0`` means one worker
+per CPU — and results are bit-identical to serial.  ``compare``,
+``figure``, ``chaos`` and ``sweep`` also accept ``--sweep-dir`` (or
+``REPRO_SWEEP_DIR``) to persist checkpointed sweep state.
 
 Examples
 --------
@@ -46,6 +56,9 @@ Examples
     python -m repro lint src/ --disable SL004
     python -m repro chaos --seeds 0 1 2 3 --workers 4
     python -m repro bench --quick --out BENCH_PR5.json
+    python -m repro sweep --protocols tchain bittorrent --seeds 20 \
+        --sweep-dir results/sweep1 --workers 4 --verify
+    python -m repro sweep --resume results/sweep1 --workers 4
 """
 
 from __future__ import annotations
@@ -63,6 +76,16 @@ from repro.bt.protocols import PROTOCOLS
 from repro.experiments import run_swarm
 from repro.experiments.config import ExperimentScale
 from repro.experiments.parallel import ENV_WORKERS, RunSpec, run_specs
+
+#: One help string for every worker-count flag, matching what
+#: resolve_workers actually implements (0 = one worker per CPU).
+_WORKERS_HELP = ("worker processes (default: REPRO_WORKERS or serial; "
+                 "0 = one per CPU)")
+
+#: Shared help for the fabric's persistent-state directory flags.
+_SWEEP_DIR_HELP = ("persist checkpointed sweep state under this "
+                   "directory via the execution fabric (default: "
+                   "REPRO_SWEEP_DIR, else no persistence)")
 
 
 def build_parser() -> argparse.ArgumentParser:
@@ -85,8 +108,9 @@ def build_parser() -> argparse.ArgumentParser:
                                 "fairtorrent", "tchain"],
                        choices=sorted(PROTOCOLS))
     cmp_p.add_argument("--workers", type=int, default=None,
-                       help="worker processes (default: REPRO_WORKERS "
-                            "or serial)")
+                       help=_WORKERS_HELP)
+    cmp_p.add_argument("--sweep-dir", metavar="DIR", default=None,
+                       help=_SWEEP_DIR_HELP)
 
     fig_p = sub.add_parser("figure",
                            help="regenerate a paper figure/table")
@@ -101,7 +125,10 @@ def build_parser() -> argparse.ArgumentParser:
                        help="root seed")
     fig_p.add_argument("--workers", type=int, default=None,
                        help="worker processes for the figure's seed "
-                            "sweeps (default: REPRO_WORKERS or serial)")
+                            "sweeps (default: REPRO_WORKERS or "
+                            "serial; 0 = one per CPU)")
+    fig_p.add_argument("--sweep-dir", metavar="DIR", default=None,
+                       help=_SWEEP_DIR_HELP)
 
     sub.add_parser("models",
                    help="Section III analytical results")
@@ -169,7 +196,52 @@ def build_parser() -> argparse.ArgumentParser:
                          help="sweep several seeds (overrides --seed)")
     chaos_p.add_argument("--workers", type=int, default=None,
                          help="worker processes for the seed sweep "
-                              "(default: REPRO_WORKERS or serial)")
+                              "(default: REPRO_WORKERS or serial; "
+                              "0 = one per CPU)")
+    chaos_p.add_argument("--sweep-dir", metavar="DIR", default=None,
+                         help=_SWEEP_DIR_HELP)
+
+    sweep_p = sub.add_parser(
+        "sweep", help="fault-tolerant sharded sweep: manifested, "
+                      "checkpointed, resumable (docs/SWEEPS.md)")
+    sweep_p.add_argument("--resume", metavar="DIR", default=None,
+                         help="resume a killed sweep from its "
+                              "directory (re-runs only shards without "
+                              "a valid checkpoint)")
+    sweep_p.add_argument("--sweep-dir", metavar="DIR", default=None,
+                         help="sweep state directory (default: "
+                              "REPRO_SWEEP_DIR, else a throwaway "
+                              "temp directory)")
+    sweep_p.add_argument("--protocols", nargs="+", default=["tchain"],
+                         choices=sorted(PROTOCOLS))
+    sweep_p.add_argument("--seeds", type=int, default=8,
+                         help="seeds per protocol")
+    sweep_p.add_argument("--seed", type=int, default=0,
+                         help="first seed of the range")
+    sweep_p.add_argument("--leechers", type=int, default=8)
+    sweep_p.add_argument("--pieces", type=int, default=4)
+    sweep_p.add_argument("--freeriders", type=float, default=0.0,
+                         help="free-rider fraction [0, 1]")
+    sweep_p.add_argument("--max-time", type=float, default=None)
+    sweep_p.add_argument("--shard-size", type=int, default=None,
+                         help="specs per shard (default: 16)")
+    sweep_p.add_argument("--workers", type=int, default=None,
+                         help=_WORKERS_HELP)
+    sweep_p.add_argument("--retry-budget", type=int, default=None,
+                         help="failures tolerated per shard before "
+                              "quarantine (default: 3)")
+    sweep_p.add_argument("--shard-timeout", type=float, default=None,
+                         help="per-shard wall-clock timeout in "
+                              "seconds (default: none)")
+    sweep_p.add_argument("--kill-prob", type=float, default=0.0,
+                         help="fault injection: seeded SIGKILL "
+                              "probability per spec boundary "
+                              "(requires --workers >= 2)")
+    sweep_p.add_argument("--kill-seed", type=int, default=0,
+                         help="root seed of the kill substreams")
+    sweep_p.add_argument("--verify", action="store_true",
+                         help="re-run the matrix serially and assert "
+                              "the merged summaries are bit-identical")
 
     bench_p = sub.add_parser(
         "bench", help="pinned performance benchmark (writes JSON)")
@@ -249,6 +321,18 @@ def cmd_run(args) -> int:
     return 0
 
 
+def _run_specs_routed(specs, workers, sweep_dir):
+    """``run_specs``, or the fabric when a sweep dir is configured."""
+    from repro.experiments.fabric import (resolve_sweep_dir,
+                                          run_specs_fabric,
+                                          sweep_subdir)
+    sweep_dir = resolve_sweep_dir(sweep_dir)
+    if sweep_dir is None:
+        return run_specs(specs, workers=workers)
+    return run_specs_fabric(specs, workers=workers,
+                            sweep_dir=sweep_subdir(sweep_dir, specs))
+
+
 def cmd_compare(args) -> int:
     specs = [RunSpec(
         protocol=protocol, leechers=args.leechers, pieces=args.pieces,
@@ -259,7 +343,8 @@ def cmd_compare(args) -> int:
         for protocol in args.protocols]
     rows = []
     bars = []
-    for result in run_specs(specs, workers=args.workers):
+    for result in _run_specs_routed(specs, args.workers,
+                                    args.sweep_dir):
         metrics = result.metrics
         mct = metrics.mean_completion_time("leecher")
         rows.append((result.protocol, mct,
@@ -284,6 +369,11 @@ def cmd_figure(args) -> int:
         # The figure modules drive their sweeps through run_many(),
         # which resolves this knob; no per-module plumbing needed.
         os.environ[ENV_WORKERS] = str(args.workers)
+    if args.sweep_dir is not None:
+        # Same trick for the fabric: run_many reads REPRO_SWEEP_DIR
+        # and persists each figure sweep under its own subdirectory.
+        from repro.experiments.fabric import ENV_SWEEP_DIR
+        os.environ[ENV_SWEEP_DIR] = args.sweep_dir
     scale = ExperimentScale(factor=args.scale, seeds=args.seeds,
                             root_seed=args.seed)
     name = args.name
@@ -446,7 +536,12 @@ def cmd_chaos(args) -> int:
         control_delay_s=args.delay_s, upload_stall_prob=args.stall,
         upload_stall_s=args.stall_s, crashes=args.crashes,
         max_time=args.max_time, races=args.races) for seed in seeds]
-    summaries = run_chaos_specs(specs, workers=args.workers)
+    from repro.experiments.fabric import resolve_sweep_dir
+    if resolve_sweep_dir(args.sweep_dir) is not None:
+        summaries = _run_specs_routed(specs, args.workers,
+                                      args.sweep_dir)
+    else:
+        summaries = run_chaos_specs(specs, workers=args.workers)
     for chaos in summaries:
         title = "chaos smoke run"
         if len(summaries) > 1:
@@ -469,6 +564,80 @@ def cmd_chaos(args) -> int:
         if chaos is not summaries[-1]:
             print()
     return 0 if all(chaos.passed for chaos in summaries) else 1
+
+
+def cmd_sweep(args) -> int:
+    from repro.experiments.fabric import (DEFAULT_RETRY_BUDGET,
+                                          DEFAULT_SHARD_SIZE,
+                                          SweepIncomplete,
+                                          load_manifest, resume_sweep,
+                                          run_specs_fabric)
+    retry_budget = (args.retry_budget if args.retry_budget is not None
+                    else DEFAULT_RETRY_BUDGET)
+    if args.resume:
+        if args.kill_prob > 0:
+            print("error: --kill-prob is a fresh-sweep fault "
+                  "injection; a resume must run clean", file=sys.stderr)
+            return 2
+        specs = load_manifest(args.resume).specs
+        try:
+            summaries = resume_sweep(
+                args.resume, workers=args.workers,
+                retry_budget=retry_budget,
+                shard_timeout_s=args.shard_timeout)
+        except SweepIncomplete as exc:
+            print(f"sweep incomplete: {exc}", file=sys.stderr)
+            return 1
+    else:
+        specs = [RunSpec(
+            protocol=protocol, seed=args.seed + i,
+            leechers=args.leechers, pieces=args.pieces,
+            freerider_fraction=args.freeriders,
+            max_time=args.max_time)
+            for protocol in args.protocols
+            for i in range(args.seeds)]
+        kill = None
+        if args.kill_prob > 0:
+            from repro.faults import WorkerKill
+            if not args.sweep_dir:
+                print("error: --kill-prob needs --sweep-dir (a "
+                      "killed sweep in a temp directory leaves "
+                      "nothing to resume)", file=sys.stderr)
+                return 2
+            kill = WorkerKill(prob=args.kill_prob, seed=args.kill_seed)
+        try:
+            summaries = run_specs_fabric(
+                specs, workers=args.workers, sweep_dir=args.sweep_dir,
+                shard_size=(args.shard_size if args.shard_size
+                            is not None else DEFAULT_SHARD_SIZE),
+                retry_budget=retry_budget,
+                shard_timeout_s=args.shard_timeout, worker_kill=kill)
+        except SweepIncomplete as exc:
+            print(f"sweep incomplete: {exc}", file=sys.stderr)
+            return 1
+
+    by_protocol = {}
+    for summary in summaries:
+        by_protocol.setdefault(summary.protocol, []).append(summary)
+    rows = []
+    for protocol, group in by_protocol.items():
+        mcts = [s.mean_completion_time("leecher") for s in group]
+        mcts = [m for m in mcts if m is not None]
+        rows.append((protocol, len(group),
+                     round(sum(mcts) / len(mcts), 1) if mcts else None))
+    print(format_table(
+        ["protocol", "runs", "mean completion (s)"], rows,
+        title=f"sweep: {len(summaries)} runs"))
+
+    if args.verify:
+        serial = run_specs(specs, workers=1)
+        identical = serial == summaries
+        print(f"\nverify: merged summaries "
+              f"{'bit-identical to' if identical else 'DIFFER from'} "
+              f"serial run_specs over {len(specs)} spec(s)")
+        if not identical:
+            return 1
+    return 0
 
 
 def cmd_bench(args) -> int:
@@ -494,6 +663,16 @@ def cmd_bench(args) -> int:
          f"{par['workers']} workers)",
          f"{par['speedup']:.2f}x vs serial"),
         ("parallel == serial (bit-identical)", par["identical"]),
+    ])
+    fab = report["sweep_fabric"]
+    rows.extend([
+        (f"sweep fabric overhead ({fab['runs']} runs, "
+         f"{fab['shards']} shards)",
+         f"{fab['overhead']:.2f}x (ceiling {fab['limit']:.2f}x)"),
+        ("sweep fabric == plain (bit-identical)", fab["identical"]),
+        (f"sweep fabric kill-resume "
+         f"({fab['kill_resume']['quarantined']} quarantined)",
+         fab["kill_resume"]["resumed_identical"]),
     ])
     equiv = report["index_equivalence"]
     rows.append((f"interest index on == off "
@@ -537,6 +716,7 @@ COMMANDS = {
     "models": cmd_models,
     "lint": cmd_lint,
     "chaos": cmd_chaos,
+    "sweep": cmd_sweep,
     "bench": cmd_bench,
 }
 

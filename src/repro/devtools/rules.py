@@ -15,13 +15,17 @@ SL005     mutable default arguments
 SL006     event callback scheduled with mismatched arity
 SL007     direct ``rng`` use inside a ``faults/`` package (fault
           injection must draw from its own named substream)
-SL008     multiprocessing/ProcessPoolExecutor outside the
-          ``experiments/parallel.py`` choke point
+SL008     multiprocessing/ProcessPoolExecutor outside the sanctioned
+          choke points (``experiments/parallel.py`` and the fabric
+          supervisor)
 SL009     stale ``# simlint: disable=...`` comment that no longer
           suppresses any finding (warning; see
           ``--strict-suppressions``)
 SL010     ad-hoc ``book.wanted() & ...`` interest intersection inside
           ``bt/protocols/`` (bypasses the incremental interest index)
+SL011     ad-hoc checkpoint/manifest/state-file writes under
+          ``experiments/`` outside the ``fabric/`` package (bypasses
+          atomic, verified sweep persistence)
 SL101     deep: wall-clock value reaches a schedule/rng/metrics sink
           through any number of call hops
 SL102     deep: global-``random`` value reaches a deterministic sink
@@ -650,24 +654,31 @@ class AdHocParallelismRule(Rule):
     likely, silently lacks one of them (results in completion order,
     shared mutable state, a hang on worker death).  The rule flags any
     import or attribute reference to ``multiprocessing`` or
-    ``ProcessPoolExecutor`` outside ``experiments/parallel.py``.
+    ``ProcessPoolExecutor`` outside the two sanctioned choke points:
+    ``experiments/parallel.py`` and the fabric supervisor
+    (``experiments/fabric/supervisor.py``), which holds the same
+    guarantees and adds checkpointed recovery on top.
     """
 
     id = "SL008"
     name = "adhoc-parallelism"
     description = ("ProcessPoolExecutor/multiprocessing outside "
-                   "experiments/parallel.py; route fan-out through "
-                   "repro.experiments.parallel")
+                   "experiments/parallel.py or the fabric supervisor; "
+                   "route fan-out through repro.experiments.parallel")
 
     _GUIDANCE = ("process fan-out belongs in repro.experiments.parallel "
-                 "(run_specs / run_chaos_specs); it guarantees "
+                 "(run_specs / run_chaos_specs) or the fabric "
+                 "supervisor (run_specs_fabric); they guarantee "
                  "spec-order results, per-run seeding and worker-death "
                  "reporting")
 
     @staticmethod
     def _is_choke_point(path: str) -> bool:
         parts = path.replace("\\", "/").split("/")
-        return parts[-1] == "parallel.py" and "experiments" in parts
+        if parts[-1] == "parallel.py" and "experiments" in parts:
+            return True
+        return (parts[-1] == "supervisor.py" and "fabric" in parts
+                and "experiments" in parts)
 
     def check(self, ctx: FileContext) -> Iterator[Finding]:
         if self._is_choke_point(ctx.path):
@@ -749,6 +760,88 @@ class AdHocInterestScanRule(Rule):
                     "protocol code; use the interest-index helpers "
                     "(repro.bt.interest.wants_from / wants_any_of / "
                     "offers_interest / needed_overlap)")
+
+
+# ----------------------------------------------------------------------
+# SL011 — ad-hoc sweep-state writes outside the fabric choke point
+# ----------------------------------------------------------------------
+@register
+class AdHocSweepStateRule(Rule):
+    """SL011: sweep state must persist through the fabric.
+
+    The fabric (``experiments/fabric/``) is the single sanctioned
+    place where experiment code writes checkpoints, manifests and
+    journals: its writes are atomic (temp-then-rename), sha256-
+    verified on load, and content-addressed — which is what makes
+    ``repro sweep --resume`` trustworthy after any kind of death.  A
+    plain ``open(path, "w")`` (or ``os.replace``/``os.rename``/
+    ``Path.write_text``) elsewhere under ``experiments/`` re-invents
+    that persistence ad hoc — typically non-atomically, so a SIGKILL
+    mid-write leaves a torn file that a later resume happily merges.
+    Mirrors SL008's choke-point pattern: route state through
+    ``repro.experiments.fabric.checkpoint`` (``atomic_write_bytes`` /
+    ``write_shard_checkpoint``) and ``write_manifest`` instead.
+    """
+
+    id = "SL011"
+    name = "adhoc-sweep-state"
+    description = ("file writes under experiments/ outside fabric/; "
+                   "persist sweep state via "
+                   "repro.experiments.fabric.checkpoint")
+
+    _GUIDANCE = ("sweep/experiment state writes belong in "
+                 "repro.experiments.fabric (atomic_write_bytes / "
+                 "write_shard_checkpoint / write_manifest): atomic, "
+                 "sha256-verified, resume-safe")
+
+    _WRITE_MODES = frozenset("wax+")
+
+    @staticmethod
+    def _in_scope(path: str) -> bool:
+        parts = path.replace("\\", "/").split("/")
+        return "experiments" in parts[:-1] and "fabric" not in parts
+
+    @classmethod
+    def _open_write_mode(cls, node: ast.Call) -> Optional[str]:
+        """The mode string when this is ``open(...)`` for writing."""
+        mode: Optional[ast.AST] = None
+        if len(node.args) >= 2:
+            mode = node.args[1]
+        for keyword in node.keywords:
+            if keyword.arg == "mode":
+                mode = keyword.value
+        if mode is None or not isinstance(mode, ast.Constant) \
+                or not isinstance(mode.value, str):
+            return None
+        if set(mode.value) & cls._WRITE_MODES:
+            return mode.value
+        return None
+
+    def check(self, ctx: FileContext) -> Iterator[Finding]:
+        if not self._in_scope(ctx.path):
+            return
+        for node in ast.walk(ctx.tree):
+            if not isinstance(node, ast.Call):
+                continue
+            func = node.func
+            if isinstance(func, ast.Name) and func.id == "open":
+                mode = self._open_write_mode(node)
+                if mode is not None:
+                    yield ctx.finding(
+                        self, node,
+                        f"`open(..., {mode!r})` under experiments/: "
+                        f"{self._GUIDANCE}")
+            elif isinstance(func, ast.Attribute):
+                name = dotted_name(func)
+                if name in ("os.replace", "os.rename"):
+                    yield ctx.finding(
+                        self, node, f"`{name}(...)` under "
+                                    f"experiments/: {self._GUIDANCE}")
+                elif func.attr in ("write_text", "write_bytes"):
+                    yield ctx.finding(
+                        self, node,
+                        f"`.{func.attr}(...)` under experiments/: "
+                        f"{self._GUIDANCE}")
 
 
 # ----------------------------------------------------------------------

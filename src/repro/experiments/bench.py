@@ -20,6 +20,13 @@ changes land with numbers instead of adjectives:
   full event traces compare bit-identical (the trace-neutrality
   guarantee of :mod:`repro.bt.interest`, checked on every bench run —
   including the ``--quick`` CI smoke — not just in tests).
+* **sweep_fabric** — the same sweep through plain ``run_specs`` and
+  through the fault-tolerant fabric
+  (:mod:`repro.experiments.fabric`), pinning the fabric's overhead
+  (manifest + checkpoints + supervision) under a hard ceiling and
+  asserting bit-identical merged output; plus a kill-resume scenario
+  (seeded ``WorkerKill`` SIGKILL, quarantine, ``resume_sweep``) that
+  must reproduce the plain results exactly.
 
 Results are written as JSON (default ``BENCH_PR5.json`` in the current
 directory) next to the frozen pre-PR baseline measured on the same
@@ -176,6 +183,111 @@ def bench_parallel(n_seeds: int, workers: Optional[int] = None
         "parallel_s": round(parallel_s, 3),
         "speedup": round(serial_s / parallel_s, 2),
         "identical": identical,
+    }
+
+
+#: Fabric-overhead ceilings: full mode is a real performance pin
+#: (≤ 10% over plain ``run_specs``); quick mode runs once on small,
+#: noisy CI boxes, so it only smoke-checks the order of magnitude.
+FABRIC_OVERHEAD_LIMIT = 1.10
+FABRIC_OVERHEAD_LIMIT_QUICK = 1.35
+
+#: Shard size for the fabric legs: small enough that the sweep spans
+#: several shards (exercising checkpoint merge), large enough to be a
+#: realistic ratio of work to checkpoint I/O.
+FABRIC_SHARD_SIZE = 2
+
+
+def bench_sweep_fabric(n_seeds: int, workers: Optional[int] = None,
+                       repeat: int = 3, quick: bool = False
+                       ) -> Dict[str, object]:
+    """Fabric leg: overhead ceiling plus a kill-resume scenario.
+
+    Runs the pinned sweep through plain ``run_specs`` and through
+    ``run_specs_fabric`` (same worker count, best of ``repeat`` each),
+    asserts the merged summaries compare equal, and fails the bench if
+    the fabric's overhead exceeds its ceiling.  Then SIGKILLs a worker
+    mid-sweep (seeded :class:`~repro.faults.WorkerKill`, retry budget
+    0 so the shard quarantines), resumes from the sweep directory, and
+    asserts the resumed merge is bit-identical too.
+    """
+    from dataclasses import replace
+    from tempfile import TemporaryDirectory
+
+    from repro.experiments.fabric import (SweepIncomplete, resume_sweep,
+                                          run_specs_fabric)
+    from repro.faults import WorkerKill
+
+    cpus = os.cpu_count() or 1
+    if workers is None:
+        workers = min(4, cpus) if cpus > 1 else 2
+    specs = [replace(PARALLEL_SWEEP, seed=s) for s in range(n_seeds)]
+    n_shards = -(-n_seeds // FABRIC_SHARD_SIZE)
+
+    plain_s = None
+    plain = None
+    for _ in range(max(1, repeat)):
+        start = time.perf_counter()  # simlint: disable=SL002 -- benchmark measures real wall-time by design
+        result = run_specs(specs, workers=workers)
+        wall = time.perf_counter() - start  # simlint: disable=SL002 -- see above
+        if plain_s is None or wall < plain_s:
+            plain_s, plain = wall, result
+
+    fabric_s = None
+    fabric = None
+    for _ in range(max(1, repeat)):
+        with TemporaryDirectory() as tmp:
+            start = time.perf_counter()  # simlint: disable=SL002 -- see above
+            result = run_specs_fabric(specs, workers=workers,
+                                      sweep_dir=tmp,
+                                      shard_size=FABRIC_SHARD_SIZE)
+            wall = time.perf_counter() - start  # simlint: disable=SL002 -- see above
+        if fabric_s is None or wall < fabric_s:
+            fabric_s, fabric = wall, result
+
+    identical = fabric == plain
+    if not identical:  # pragma: no cover - would be a fabric bug
+        raise AssertionError(
+            "fabric sweep diverged from plain run_specs — merge broken")
+    overhead = fabric_s / plain_s
+    limit = FABRIC_OVERHEAD_LIMIT_QUICK if quick else FABRIC_OVERHEAD_LIMIT
+    if overhead > limit:
+        raise AssertionError(
+            f"sweep fabric overhead {overhead:.2f}x exceeds the "
+            f"{limit:.2f}x ceiling ({fabric_s:.3f}s vs {plain_s:.3f}s "
+            f"for {n_seeds} runs / {n_shards} shards)")
+
+    with TemporaryDirectory() as tmp:
+        kill = WorkerKill(prob=1.0, seed=5, shard_indices=(0,))
+        quarantined = 0
+        try:
+            run_specs_fabric(specs, workers=workers, sweep_dir=tmp,
+                             shard_size=FABRIC_SHARD_SIZE,
+                             retry_budget=0, worker_kill=kill)
+        except SweepIncomplete as exc:
+            quarantined = len(exc.quarantined)
+        if not quarantined:  # pragma: no cover - would be a kill bug
+            raise AssertionError(
+                "WorkerKill injection did not quarantine any shard")
+        resumed = resume_sweep(tmp, workers=workers)
+    resumed_identical = resumed == plain
+    if not resumed_identical:  # pragma: no cover - fabric bug
+        raise AssertionError(
+            "kill-resume sweep diverged from plain run_specs")
+    return {
+        "runs": n_seeds,
+        "shards": n_shards,
+        "workers": workers,
+        "plain_s": round(plain_s, 3),
+        "fabric_s": round(fabric_s, 3),
+        "overhead": round(overhead, 3),
+        "limit": limit,
+        "identical": identical,
+        "kill_resume": {
+            "killed_shard": 0,
+            "quarantined": quarantined,
+            "resumed_identical": resumed_identical,
+        },
     }
 
 
@@ -383,6 +495,8 @@ def run_bench(quick: bool = False, repeat: int = 3,
         "engine": engine,
         "scenarios": bench_scenarios(scenarios, repeat=repeat),
         "parallel": bench_parallel(n_seeds, workers=workers),
+        "sweep_fabric": bench_sweep_fabric(n_seeds, workers=workers,
+                                           repeat=repeat, quick=quick),
         "index_equivalence": bench_index_equivalence(),
         "lint_deep": bench_lint_deep(),
         "simrace": bench_simrace(),
@@ -391,7 +505,7 @@ def run_bench(quick: bool = False, repeat: int = 3,
 
 def write_report(report: Dict[str, object], path: str) -> str:
     """Write the report as pretty JSON; returns the path."""
-    with open(path, "w", encoding="utf-8") as fh:
+    with open(path, "w", encoding="utf-8") as fh:  # simlint: disable=SL011 -- bench report artifact, not sweep state
         json.dump(report, fh, indent=2, sort_keys=False)
         fh.write("\n")
     return path

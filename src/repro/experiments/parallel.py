@@ -105,9 +105,12 @@ class RunSpec:
         Raises :class:`ParallelExecutionError` for arguments that
         cannot cross a process boundary (``setup`` callables, live
         ``config`` objects, fault plans) — such runs must stay serial.
+
+        ``kwargs`` is never mutated — neither on success nor on the
+        error path — so callers can safely reuse one kwargs dict
+        across many specs (the seed loop in ``run_many`` does).
         """
-        blocked = [k for k in _UNSPECABLE if kwargs.pop(k, None)
-                   is not None]
+        blocked = [k for k in _UNSPECABLE if kwargs.get(k) is not None]
         if blocked:
             raise ParallelExecutionError(
                 f"run_swarm argument(s) {', '.join(blocked)} cannot be "
@@ -115,7 +118,8 @@ class RunSpec:
                 f"(workers=1) instead")
         names = {f.name for f in fields(cls)} - {"config_overrides"}
         direct = {k: v for k, v in kwargs.items() if k in names}
-        extra = {k: v for k, v in kwargs.items() if k not in names}
+        extra = {k: v for k, v in kwargs.items()
+                 if k not in names and k not in _UNSPECABLE}
         overrides = tuple(sorted(extra.items(), key=lambda kv: kv[0]))
         return cls(config_overrides=overrides, **direct)
 
@@ -236,20 +240,41 @@ def _map_ordered(fn, items: Sequence, workers: int) -> List:
     A dead worker (hard crash, OOM kill) surfaces promptly as
     :class:`ParallelExecutionError`; an exception *raised by* ``fn``
     propagates as itself, exactly as in the serial comprehension.
+
+    The raised error carries an ``in_flight`` tuple with the repr of
+    every item that was possibly executing when the pool broke (the
+    pool cannot say which worker held which item, so all unfinished
+    items are candidates) — enough to isolate the killer without
+    rerunning the whole sweep serially.
     """
     from concurrent.futures import ProcessPoolExecutor
     from concurrent.futures.process import BrokenProcessPool
+    futures: List = []
     try:
         with ProcessPoolExecutor(
                 max_workers=min(workers, len(items))) as pool:
             futures = [pool.submit(fn, item) for item in items]
             return [f.result() for f in futures]
     except BrokenProcessPool as exc:
-        raise ParallelExecutionError(
+        # Every future is settled once the with-block exits; the ones
+        # poisoned by the pool break (rather than completed or
+        # cancelled while queued) were the in-flight candidates.
+        in_flight = tuple(
+            repr(item) for item, future in zip(items, futures)
+            if not future.done()
+            or (not future.cancelled()
+                and isinstance(future.exception(), BrokenProcessPool)))
+        shown = ", ".join(in_flight[:3])
+        if len(in_flight) > 3:
+            shown += f", ... ({len(in_flight) - 3} more)"
+        error = ParallelExecutionError(
             f"a worker process died while executing {len(items)} "
             f"spec(s) across {workers} workers (hard crash or the "
-            f"OOM killer); rerun with {ENV_WORKERS}=1 to isolate the "
-            f"failing spec") from exc
+            f"OOM killer); in flight: [{shown}]; rerun with "
+            f"{ENV_WORKERS}=1 to isolate the failing spec, or use "
+            f"run_specs_fabric for checkpointed retries")
+        error.in_flight = in_flight
+        raise error from exc
 
 
 def run_specs(specs: Sequence[RunSpec],

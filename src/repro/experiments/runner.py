@@ -238,7 +238,7 @@ def run_swarm(protocol: str = "tchain",
 
 
 def run_many(seeds: Sequence[int], workers: Optional[int] = None,
-             **kwargs) -> List:
+             sweep_dir: Optional[str] = None, **kwargs) -> List:
     """Repeat :func:`run_swarm` across seeds.
 
     ``workers`` (or the ``REPRO_WORKERS`` environment knob when it is
@@ -249,13 +249,27 @@ def run_many(seeds: Sequence[int], workers: Optional[int] = None,
     the serial results; serial execution keeps returning full
     :class:`RunResult` objects (live swarm attached).  Both carry the
     accessor surface the figure sweeps consume.
+
+    ``sweep_dir`` (or the ``REPRO_SWEEP_DIR`` environment knob) routes
+    the sweep through the fault-tolerant fabric
+    (:mod:`repro.experiments.fabric`): state persists in a per-matrix
+    subdirectory of that parent, worker death costs at most one shard,
+    and a killed sweep resumes with ``repro sweep --resume``.  Results
+    stay bit-identical to the plain paths.
     """
+    from repro.experiments.fabric import (resolve_sweep_dir,
+                                          run_specs_fabric,
+                                          sweep_subdir)
     from repro.experiments.parallel import (RunSpec, resolve_workers,
                                             run_specs)
-    if resolve_workers(workers) <= 1:
+    sweep_dir = resolve_sweep_dir(sweep_dir)
+    if sweep_dir is None and resolve_workers(workers) <= 1:
         return [run_swarm(seed=seed, **kwargs) for seed in seeds]
     specs = [RunSpec.from_kwargs(seed=seed, **kwargs) for seed in seeds]
-    return run_specs(specs, workers=workers)
+    if sweep_dir is None:
+        return run_specs(specs, workers=workers)
+    return run_specs_fabric(specs, workers=workers,
+                            sweep_dir=sweep_subdir(sweep_dir, specs))
 
 
 def summarize_metric(results: Sequence[RunResult],

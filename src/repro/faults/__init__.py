@@ -10,7 +10,10 @@ Three pieces (see docs/FAULTS.md):
   attached-but-idle injector reproduces the fault-free event trace
   bit-for-bit;
 * :mod:`repro.faults.harness` — :func:`run_chaos`, the chaos
-  regression harness CI runs (``repro chaos``).
+  regression harness CI runs (``repro chaos``);
+* :mod:`repro.faults.workerkill` — :class:`WorkerKill`, seeded
+  SIGKILL injection for sweep-fabric worker processes
+  (``repro sweep --kill-prob``, docs/SWEEPS.md).
 
 The recovery machinery the faults exercise lives in the protocol glue
 (:mod:`repro.bt.protocols.tchain`): report/key retransmission with
@@ -21,14 +24,17 @@ orphan handling.
 from repro.faults.harness import ChaosResult, crash_schedule, run_chaos
 from repro.faults.injector import FAULT_STREAM_LABEL, FaultInjector
 from repro.faults.plan import FaultPlan, FaultPlanError, PeerCrash
+from repro.faults.workerkill import WORKERKILL_STREAM_LABEL, WorkerKill
 
 __all__ = [
     "FAULT_STREAM_LABEL",
+    "WORKERKILL_STREAM_LABEL",
     "ChaosResult",
     "FaultInjector",
     "FaultPlan",
     "FaultPlanError",
     "PeerCrash",
+    "WorkerKill",
     "crash_schedule",
     "run_chaos",
 ]

@@ -318,6 +318,16 @@ class TestSL008AdHocParallelism:
             "from concurrent.futures import ThreadPoolExecutor\n",
             path="src/repro/analysis/stats.py") == []
 
+    def test_fabric_supervisor_also_exempt(self):
+        assert rules_of("""
+            from concurrent.futures import ProcessPoolExecutor
+        """, path="src/repro/experiments/fabric/supervisor.py") == []
+
+    def test_other_fabric_files_not_exempt(self):
+        assert rules_of(
+            "import multiprocessing\n",
+            path="src/repro/experiments/fabric/manifest.py") == ["SL008"]
+
     def test_real_parallel_module_is_only_user(self):
         src_root = os.path.join(os.path.dirname(__file__), "..", "src")
         findings = lint_paths([src_root])
@@ -365,6 +375,75 @@ class TestSL010AdHocInterestScan:
         assert paths
         findings = lint_paths(paths)
         assert [f for f in findings if f.rule == "SL010"] == []
+
+
+class TestSL011AdHocSweepState:
+    def test_open_write_flagged(self):
+        assert rules_of("""
+            def save(path, data):
+                with open(path, "w") as fh:
+                    fh.write(data)
+        """, path="src/repro/experiments/runner.py") == ["SL011"]
+
+    def test_append_and_exclusive_modes_flagged(self):
+        for mode in ("a", "x", "r+", "wb"):
+            assert rules_of(
+                f'fh = open("state.json", "{mode}")\n',
+                path="src/repro/experiments/fig3.py") == ["SL011"], mode
+
+    def test_keyword_mode_flagged(self):
+        assert rules_of(
+            'fh = open("state.json", mode="w")\n',
+            path="src/repro/experiments/fig3.py") == ["SL011"]
+
+    def test_os_replace_and_rename_flagged(self):
+        assert rules_of("""
+            import os
+            os.replace("a.tmp", "a.json")
+        """, path="src/repro/experiments/bench.py") == ["SL011"]
+        assert rules_of("""
+            import os
+            os.rename("a.tmp", "a.json")
+        """, path="src/repro/experiments/bench.py") == ["SL011"]
+
+    def test_pathlib_writes_flagged(self):
+        assert rules_of(
+            'target.write_text("{}")\n',
+            path="src/repro/experiments/fig7.py") == ["SL011"]
+        assert rules_of(
+            'target.write_bytes(b"")\n',
+            path="src/repro/experiments/fig7.py") == ["SL011"]
+
+    def test_reads_clean(self):
+        assert rules_of("""
+            with open("report.json") as fh:
+                fh.read()
+            with open("report.json", "r", encoding="utf-8") as fh:
+                fh.read()
+        """, path="src/repro/experiments/bench.py") == []
+
+    def test_fabric_package_exempt(self):
+        snippet = """
+            import os
+            def atomic(path, data):
+                with open(path + ".tmp", "wb") as fh:
+                    fh.write(data)
+                os.replace(path + ".tmp", path)
+        """
+        for name in ("checkpoint.py", "manifest.py", "supervisor.py"):
+            path = f"src/repro/experiments/fabric/{name}"
+            assert rules_of(snippet, path=path) == []
+
+    def test_outside_experiments_clean(self):
+        assert rules_of(
+            'fh = open("peers.csv", "w")\n',
+            path="src/repro/analysis/persist.py") == []
+
+    def test_real_experiments_tree_clean(self):
+        package = os.path.join(os.path.dirname(__file__), "..",
+                               "src", "repro", "experiments")
+        findings = lint_paths([package])
+        assert [f for f in findings if f.rule == "SL011"] == []
 
 
 class TestSuppression:

@@ -70,6 +70,8 @@ from typing import (
     TYPE_CHECKING,
 )
 
+from repro.bt.columnar import ColumnarBook, _popcount, mask_to_set
+
 if TYPE_CHECKING:  # pragma: no cover
     from repro.bt.peer import Peer
     from repro.bt.swarm import Swarm
@@ -150,11 +152,21 @@ class InterestIndex:
         tracked = self._tracked
         rows = self._rows
         row: Dict[str, int] = {}
+        use_masks = isinstance(book, ColumnarBook)
         for other_id, other in tracked.items():
-            count = len(completed & other.book.wanted())
-            if count:
-                row[other_id] = count
-            count = len(other.book.completed & wanted)
+            other_book = other.book
+            if use_masks and isinstance(other_book, ColumnarBook):
+                # Same counts as the set intersections below, via
+                # bitmask AND + popcount (no set materialization).
+                count = _popcount(book._cmask & other_book._wmask)
+                if count:
+                    row[other_id] = count
+                count = _popcount(other_book._cmask & book._wmask)
+            else:
+                count = len(completed & other_book.wanted())
+                if count:
+                    row[other_id] = count
+                count = len(other_book.completed & wanted)
             if count:
                 rows[other_id][pid] = count
         rows[pid] = row
@@ -285,16 +297,16 @@ class InterestIndex:
     def check_consistency(self) -> None:
         """Assert every map equals a from-scratch naive rescan."""
         swarm = self.swarm
-        expected_tracked = {pid: p for pid, p in swarm.peers.items()
+        expected_tracked = {pid: p for pid, p in swarm.peers.items()  # simlint: disable=SL012 -- consistency checker rebuilds the naive ground truth by design
                             if p.active}
         assert self._tracked == expected_tracked, (
             f"tracked {sorted(self._tracked)} != active "
             f"{sorted(expected_tracked)}")
         peers = self._tracked
         want_sets = {pid: set(p.book.wanted())
-                     for pid, p in peers.items()}
+                     for pid, p in peers.items()}  # simlint: disable=SL012 -- see above
         have_sets = {pid: set(p.book.completed)
-                     for pid, p in peers.items()}
+                     for pid, p in peers.items()}  # simlint: disable=SL012 -- see above
         expected_wanters: Dict[int, Set[str]] = {}
         for pid, pieces in want_sets.items():
             for piece in pieces:
@@ -357,7 +369,12 @@ def wants_from(swarm: "Swarm", wanter: "Peer", holder: "Peer") -> bool:
     index = swarm.interest
     if index is not None:
         return wanter.id in index.row(holder.id)
-    return not wanter.book.wanted().isdisjoint(holder.book.completed)
+    wanter_book = wanter.book
+    holder_book = holder.book
+    if (isinstance(wanter_book, ColumnarBook)
+            and isinstance(holder_book, ColumnarBook)):
+        return bool(wanter_book._wmask & holder_book._cmask)
+    return not wanter_book.wanted().isdisjoint(holder_book.completed)
 
 
 def wants_any_of(swarm: "Swarm", wanter: "Peer",
@@ -366,9 +383,9 @@ def wants_any_of(swarm: "Swarm", wanter: "Peer",
     index = swarm.interest
     if index is not None:
         return index.wants_any(wanter.id, pieces)
-    wanted = wanter.book.wanted()
+    book = wanter.book
     for piece in pieces:
-        if piece in wanted:
+        if book.wants(piece):
             return True
     return False
 
@@ -383,11 +400,16 @@ def offers_interest(swarm: "Swarm", requestor: "Peer",
         if wanter.id in index.row(requestor.id):
             return True
         return index.wants_any(wanter.id, extra)
-    wanted = wanter.book.wanted()
-    if not wanted.isdisjoint(requestor.book.completed):
+    book = wanter.book
+    requestor_book = requestor.book
+    if (isinstance(book, ColumnarBook)
+            and isinstance(requestor_book, ColumnarBook)):
+        if book._wmask & requestor_book._cmask:
+            return True
+    elif not book.wanted().isdisjoint(requestor_book.completed):
         return True
     for piece in extra:
-        if piece in wanted:
+        if book.wants(piece):
             return True
     return False
 
@@ -395,6 +417,11 @@ def offers_interest(swarm: "Swarm", requestor: "Peer",
 def needed_overlap(holder: "Peer", wanter: "Peer") -> Set[int]:
     """``holder.completed ∩ wanter.wanted`` as an actual set — for the
     few callers that need the elements (the bootstrap both-need rule),
-    not just the predicate.  Always computed naively: the index keeps
+    not just the predicate.  Always computed pairwise: the index keeps
     counts, not pair overlaps."""
-    return holder.book.completed & wanter.book.wanted()
+    holder_book = holder.book
+    wanter_book = wanter.book
+    if (isinstance(holder_book, ColumnarBook)
+            and isinstance(wanter_book, ColumnarBook)):
+        return mask_to_set(holder_book._cmask & wanter_book._wmask)
+    return holder_book.completed & wanter_book.wanted()

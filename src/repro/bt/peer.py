@@ -22,7 +22,8 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 from typing import Any, Dict, List, Optional, Set, TYPE_CHECKING
 
-from repro.bt.piece_selection import local_rarest_first
+from repro.bt.columnar import ColumnarBook
+from repro.bt.piece_selection import local_rarest_first, rarest_of
 from repro.bt.torrent import PieceBook
 from repro.net.bandwidth import Transfer, Uplink
 
@@ -102,7 +103,9 @@ class Peer:
         # produce no event of their own; real clients re-evaluate on
         # the unchoke cadence, so every peer pumps periodically too.
         from repro.sim.events import PeriodicTask
-        self._rescan_task = PeriodicTask(
+        self._rescan_task = self.swarm.periodic(
+            self.swarm.config.rechoke_interval_s, self._rescan,
+            key=self.id) or PeriodicTask(
             self.sim, self.swarm.config.rechoke_interval_s,
             self._rescan)
         self.on_join()
@@ -115,16 +118,21 @@ class Peer:
         # Starvation detection: we want pieces but no current neighbor
         # has any of them (e.g. attackers eclipsed the peers that do).
         # A real client goes back to the tracker in that situation.
-        wanted = self.book.wanted()
-        if wanted:
+        if self.book._wanted_nonempty():
             index = self.swarm.interest
+            store = self.swarm.columnar
             if index is not None:
                 rows = index._rows
                 starved = not any(
                     self.id in rows.get(nid, ())
                     for nid in self.swarm.topology.sorted_neighbors(
                         self.id))
+            elif store is not None:
+                # Mask scan over the adjacency column; equals the
+                # naive any() below piece for piece.
+                starved = not store.has_provider(self)
             else:
+                wanted = self.book.wanted()
                 starved = not any(wanted & peer.book.completed
                                   for peer in self.neighbor_peers())
             if starved:
@@ -379,6 +387,11 @@ class Peer:
             return [nid for nid in
                     self.swarm.topology.sorted_neighbors(self.id)
                     if nid in row]
+        store = self.swarm.columnar
+        if store is not None:
+            # Same sorted-id walk and the same want∩completed
+            # predicate, one mask AND per neighbor.
+            return store.interested_ids(self)
         mine = self.book.completed
         return [p.id for p in self.neighbor_peers()
                 if p.book.needs_from(mine)]
@@ -392,14 +405,31 @@ class Peer:
         index = self.swarm.interest
         if index is not None:
             return self.id in index.row(other.id)
-        return bool(self.book.needs_from(other.book.completed))
+        my_book, other_book = self.book, other.book
+        if self.swarm.columnar is not None \
+                and isinstance(my_book, ColumnarBook) \
+                and isinstance(other_book, ColumnarBook):
+            return bool(my_book._wmask & other_book._cmask)
+        return bool(my_book.needs_from(other_book.completed))
 
     def choose_piece_from(self, uploader: "Peer") -> Optional[int]:
         """Receiver-side LRF piece choice (Sec. II-A)."""
+        index = self.swarm.interest
+        store = self.swarm.columnar
+        my_book, up_book = self.book, uploader.book
+        if index is None and store is not None \
+                and isinstance(my_book, ColumnarBook) \
+                and isinstance(up_book, ColumnarBook):
+            cand_mask = my_book._wmask & up_book._cmask
+            if not cand_mask:
+                return None
+            # Counts equal the naive availability over the same live
+            # neighbors; rarest_of is the shared tie-break.
+            return rarest_of(store.availability(self, cand_mask),
+                             self.sim.rng)
         candidates = self.book.needs_from(uploader.book.completed)
         if not candidates:
             return None
-        index = self.swarm.interest
         if index is not None:
             # Fused single-pass rarest_of over the availability row:
             # same min + sorted-tie-pool + rng.choice as rarest_of.

@@ -12,6 +12,7 @@ from __future__ import annotations
 
 from typing import List, Optional, TYPE_CHECKING
 
+from repro.bt.columnar import ColumnarBook
 from repro.bt.peer import Peer, UploadPlan
 from repro.bt.torrent import full_book
 
@@ -107,13 +108,23 @@ class BaselineLeecher(Peer):
             return sorted(nid for nid in neighbor_ids
                           if nid in row and nid not in in_flight)
         result = []
-        mine = self.book.completed
+        my_book = self.book
+        use_masks = isinstance(my_book, ColumnarBook)
+        mine = None if use_masks else my_book.completed
         for nid in neighbor_ids:
             if self.uploading_to(nid):
                 continue
             peer = self.swarm.find_peer(nid)
             if peer is None or not peer.active:
                 continue
-            if peer.book.needs_from(mine):
+            other_book = peer.book
+            if use_masks and isinstance(other_book, ColumnarBook):
+                # Mask AND ⟺ ``bool(other.wanted() & my.completed)``.
+                if other_book._wmask & my_book._cmask:
+                    result.append(nid)
+                continue
+            if mine is None:
+                mine = my_book.completed
+            if other_book.needs_from(mine):
                 result.append(nid)
         return sorted(result)

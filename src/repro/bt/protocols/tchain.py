@@ -42,6 +42,7 @@ from __future__ import annotations
 
 from typing import Dict, List, Optional, Set, Tuple, TYPE_CHECKING
 
+from repro.bt.columnar import ColumnarBook, set_to_mask
 from repro.bt.interest import (
     needed_overlap,
     offers_interest,
@@ -124,9 +125,14 @@ class TChainState:
             "control_retry_base_s", CONTROL_RETRY_BASE_S)
         self.retry_attempts = config.extra.get(
             "control_retry_attempts", CONTROL_RETRY_ATTEMPTS)
-        self._sampler = PeriodicTask(
-            swarm.sim, config.chain_sample_interval_s,
-            lambda: self.registry.sample(swarm.sim.now),
+        # Registry sampling is order-free (no SL203 listing), so it is
+        # the one timer the coalescing gate lets join a shared herd
+        # when ``extra["coalesce_timers"]`` is on.
+        sample = lambda: self.registry.sample(swarm.sim.now)
+        self._sampler = swarm.periodic(
+            config.chain_sample_interval_s, sample,
+            key="tchain:sampler", first_delay=0.0) or PeriodicTask(
+            swarm.sim, config.chain_sample_interval_s, sample,
             first_delay=0.0)
 
     @classmethod
@@ -261,6 +267,18 @@ class _TChainNode(Peer):
                 return sorted(nid for nid in eligible
                               if now >= banned.get(nid, 0.0))
             return sorted(eligible)
+        store = self.swarm.columnar
+        if store is not None and isinstance(self.book, ColumnarBook):
+            # Same conjunction as the naive walk below, evaluated
+            # interest-first over the flat adjacency arrays: the
+            # predicates are pure filters, so reordering them cannot
+            # change the (sorted) result list.
+            result = [nid for nid in store.interested_ids(self)
+                      if not self.uploading_to(nid)
+                      and self.flow.eligible(nid)
+                      and self.cooperative(nid)]
+            result.sort()
+            return result
         mine = self.book.completed
         result = []
         for peer in self.neighbor_peers():
@@ -292,6 +310,30 @@ class _TChainNode(Peer):
                 if banned and now < banned.get(nid, 0.0):
                     continue
                 if nid in row or any(nid in s for s in wanter_sets):
+                    result.append(nid)
+            return result
+        store = self.swarm.columnar
+        requestor_book = requestor.book
+        if (store is not None and isinstance(requestor_book, ColumnarBook)
+                and self.id in store.row_of):
+            # ``wmask & (requestor.cmask | offered)`` ⟺ the
+            # ``offers_interest`` predicate below, walked over the flat
+            # adjacency arrays (already in sorted-id order).
+            row = store.row_of[self.id]
+            offer_mask = requestor_book._cmask | set_to_mask(offered)
+            books = store.books
+            alive = store.alive
+            adj_rows = store.adj_rows[row]
+            result = []
+            for pos, nid in enumerate(store.adj_ids[row]):
+                if nid == requestor_id:
+                    continue
+                nrow = adj_rows[pos]
+                if not alive[nrow]:
+                    continue
+                if not self.cooperative(nid):
+                    continue
+                if books[nrow]._wmask & offer_mask:
                     result.append(nid)
             return result
         result = []
@@ -330,7 +372,7 @@ class _TChainNode(Peer):
             # unless wanted-or-expected, then reject expected-but-not-
             # wanted) both reduce to exactly this.
             piece = forward_of.piece_index
-            if piece not in requestor.book.wanted():
+            if not requestor.book.wants(piece):
                 return None
             decision = self._decide_payee(requestor, {piece})
         elif config.newcomer_bootstrap \
@@ -645,6 +687,33 @@ class _TChainNode(Peer):
                         continue
                     if nid in row or any(nid in s
                                          for s in wanter_sets):
+                        candidates.append(nid)
+                new_payee = (self.sim.rng.choice(candidates)
+                             if candidates else None)
+            elif (swarm.columnar is not None
+                    and isinstance(requestor.book, ColumnarBook)
+                    and self.id in swarm.columnar.row_of):
+                # Columnar arm: identical conjunction to the naive walk
+                # below over the flat adjacency arrays; candidates come
+                # out already in sorted-id order, so the rng draw
+                # matches ``rng.choice(sorted(candidates))``.
+                store = swarm.columnar
+                row = store.row_of[self.id]
+                offer_mask = requestor.book._cmask | set_to_mask(extra)
+                books = store.books
+                alive = store.alive
+                adj_rows = store.adj_rows[row]
+                for pos, nid in enumerate(store.adj_ids[row]):
+                    if nid == tx.requestor_id or nid in exclude:
+                        continue
+                    nrow = adj_rows[pos]
+                    if not alive[nrow]:
+                        continue
+                    if not self.flow.eligible(nid):
+                        continue
+                    if not self.cooperative(nid):
+                        continue
+                    if books[nrow]._wmask & offer_mask:
                         candidates.append(nid)
                 new_payee = (self.sim.rng.choice(candidates)
                              if candidates else None)
@@ -1004,10 +1073,24 @@ class TChainLeecher(BaselineLeecher, _TChainNode):
                 else:
                     fallback.append(candidate_id)
         else:
-            my_wanted = self.book.wanted()
+            my_book = self.book
+            use_masks = isinstance(my_book, ColumnarBook)
+            my_wanted = None if use_masks else my_book.wanted()
             for candidate_id in candidates:
                 peer = self.swarm.find_peer(candidate_id)
-                if peer is not None and my_wanted & peer.book.completed:
+                if peer is None:
+                    fallback.append(candidate_id)
+                    continue
+                other_book = peer.book
+                if use_masks and isinstance(other_book, ColumnarBook):
+                    if my_book._wmask & other_book._cmask:
+                        direct.append(candidate_id)
+                    else:
+                        fallback.append(candidate_id)
+                    continue
+                if my_wanted is None:
+                    my_wanted = my_book.wanted()
+                if my_wanted & other_book.completed:
                     direct.append(candidate_id)
                 else:
                     fallback.append(candidate_id)

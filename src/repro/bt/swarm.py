@@ -14,14 +14,26 @@ from __future__ import annotations
 
 from typing import Any, Callable, Dict, List, Optional, Tuple
 
+import os
+
 from repro.analysis.metrics import SwarmMetrics
+from repro.bt.columnar import ColumnarState
 from repro.bt.config import SwarmConfig
 from repro.bt.interest import InterestIndex
 from repro.bt.peer import Peer
 from repro.bt.torrent import Torrent
 from repro.bt.tracker import Tracker
 from repro.net.topology import Topology
-from repro.sim.engine import Simulator
+from repro.sim.engine import CoalesceGate, Simulator, TimerHerd
+
+
+def _default_baseline_path() -> str:
+    """The checked-in ``simlint-baseline.json`` (repo root, two levels
+    above the ``repro`` package in the src layout)."""
+    package_dir = os.path.dirname(os.path.dirname(
+        os.path.abspath(__file__)))  # .../src/repro
+    return os.path.join(os.path.dirname(os.path.dirname(package_dir)),
+                        "simlint-baseline.json")
 
 
 class Swarm:
@@ -45,8 +57,26 @@ class Swarm:
         self.interest: Optional[InterestIndex] = None
         if config.extra.get("interest_index", True):
             self.interest = InterestIndex(self)
-            self.topology.on_edge_added = self.interest.on_edge_added
-            self.topology.on_edge_removed = self.interest.on_edge_removed
+        #: Columnar rows + bitmask books (see :mod:`repro.bt.columnar`).
+        #: On by default; ``extra={"columnar": False}`` keeps the
+        #: per-peer set-backed ``PieceBook`` objects (the trace-equality
+        #: tests and the crowd bench equivalence leg run both).
+        self.columnar: Optional[ColumnarState] = None
+        if config.extra.get("columnar", True):
+            self.columnar = ColumnarState(self)
+        if self.interest is not None or self.columnar is not None:
+            self.topology.on_edge_added = self._on_edge_added
+            self.topology.on_edge_removed = self._on_edge_removed
+        #: SL203-gated timer coalescing (opt-in, docs/PERF.md): the
+        #: gate refuses every handler in the baseline's do-not-coalesce
+        #: inventory; a missing baseline refuses everything.
+        self._coalesce_gate: Optional[CoalesceGate] = None
+        self._herds: Dict[Tuple[float, Optional[float]], TimerHerd] = {}
+        if config.extra.get("coalesce_timers", False):
+            baseline = config.extra.get("coalesce_baseline")
+            if baseline is None:
+                baseline = _default_baseline_path()
+            self._coalesce_gate = CoalesceGate.from_baseline(baseline)
         self.metrics = SwarmMetrics()
         self.peers: Dict[str, Peer] = {}
         self.departed: Dict[str, Peer] = {}
@@ -82,6 +112,10 @@ class Swarm:
         if peer.id in self.peers:
             raise ValueError(f"duplicate peer id {peer.id!r}")
         self.peers[peer.id] = peer
+        if self.columnar is not None:
+            # Before the interest index sees the peer: the listener it
+            # installs must land on the columnarized book.
+            self.columnar.adopt(peer)
         self.topology.add_peer(peer.id,
                                unlimited=peer.unlimited_neighbors)
         if self.interest is not None:
@@ -97,6 +131,8 @@ class Swarm:
         the peer in the same instant ``neighbor_peers()`` stops
         returning it.
         """
+        if self.columnar is not None:
+            self.columnar.on_deactivated(peer)
         if self.interest is not None:
             self.interest.remove_peer(peer)
 
@@ -110,6 +146,11 @@ class Swarm:
         if peer.kind != "seeder":
             self.active_leechers -= 1
         self.metrics.record_peer(peer, self.sim.now)
+        if self.columnar is not None:
+            # Last: the detached book keeps answering (metrics above,
+            # late unexpects from cancelled transfers) off its own
+            # masks; only the row is recycled here.
+            self.columnar.release(peer.id)
 
     def find_peer(self, peer_id: str) -> Optional[Peer]:
         """Active peer by id, else None."""
@@ -143,6 +184,48 @@ class Swarm:
         if peer is not None:
             peer.on_neighbor_disconnected(departed)
 
+    def _on_edge_added(self, a: str, b: str) -> None:
+        """Fan one topology edge event out to every flat view.
+
+        Columnar first (pure adjacency bookkeeping), then the interest
+        index (which reads books but never the adjacency columns) —
+        neither depends on the other's update.
+        """
+        if self.columnar is not None:
+            self.columnar.on_edge_added(a, b)
+        if self.interest is not None:
+            self.interest.on_edge_added(a, b)
+
+    def _on_edge_removed(self, a: str, b: str) -> None:
+        if self.columnar is not None:
+            self.columnar.on_edge_removed(a, b)
+        if self.interest is not None:
+            self.interest.on_edge_removed(a, b)
+
+    # ------------------------------------------------------------------
+    # Timer coalescing
+    # ------------------------------------------------------------------
+    def periodic(self, interval_s: float, callback, key: str,
+                 first_delay: Optional[float] = None):
+        """Try to coalesce a periodic handler into a shared herd.
+
+        Returns a :class:`repro.sim.engine.HerdMember` when coalescing
+        is enabled (``extra={"coalesce_timers": True}``) AND the SL203
+        gate permits the handler; ``None`` otherwise, in which case the
+        caller constructs its own ``PeriodicTask`` — keeping the
+        construction site (and thus the simrace schedule-site
+        analysis) in the protocol module that owns the handler.
+        """
+        gate = self._coalesce_gate
+        if gate is None or not gate.permits(callback):
+            return None
+        herd_key = (interval_s, first_delay)
+        herd = self._herds.get(herd_key)
+        if herd is None:
+            herd = self._herds[herd_key] = TimerHerd(
+                self.sim, interval_s, first_delay)
+        return herd.add(key, callback)
+
     def rebrand(self, peer: Peer) -> str:
         """Give a peer a fresh identity (whitewashing support).
 
@@ -157,9 +240,13 @@ class Swarm:
         self.tracker.leave(old_id)
         self.peers.pop(old_id, None)
         self.topology.remove_peer(old_id)
+        if self.columnar is not None:
+            self.columnar.release(old_id)
         new_id = self.new_peer_id("W")
         peer.id = new_id
         self.peers[new_id] = peer
+        if self.columnar is not None:
+            self.columnar.adopt(peer)
         self.topology.add_peer(new_id, unlimited=peer.unlimited_neighbors)
         if self.interest is not None:
             # Re-snapshots the live book, absorbing mutations made
@@ -273,8 +360,8 @@ class Swarm:
     # ------------------------------------------------------------------
     def leechers(self) -> List[Peer]:
         """Active non-seeder peers."""
-        return [p for p in self.peers.values() if p.kind != "seeder"]
+        return [p for p in self.peers.values() if p.kind != "seeder"]  # simlint: disable=SL012 -- cold-path metrics accessor; callers need the objects
 
     def seeders(self) -> List[Peer]:
         """Active seeders."""
-        return [p for p in self.peers.values() if p.kind == "seeder"]
+        return [p for p in self.peers.values() if p.kind == "seeder"]  # simlint: disable=SL012 -- cold-path metrics accessor; callers need the objects

@@ -160,6 +160,14 @@ class PieceBook:
         """Wanted pieces that ``other_completed`` could provide."""
         return other_completed & self.wanted()
 
+    def wants(self, piece: int) -> bool:
+        """True if the piece is wanted (not completed, not expected)."""
+        return piece in self._wanted
+
+    def _wanted_nonempty(self) -> bool:
+        """O(1) ``bool(wanted())`` without materializing a view."""
+        return bool(self._wanted)
+
     def _check(self, piece: int) -> None:
         if not 0 <= piece < self.torrent.n_pieces:
             raise IndexError(f"piece {piece} out of range "

@@ -6,12 +6,54 @@ randomly selected current members; peers re-announce whenever their
 neighbor count drops below 30.  Free-riders mounting the large-view
 exploit (Sec. IV-C) re-announce every rechoke period to harvest fresh
 victims — the tracker itself cannot tell and serves them normally.
+
+Scale note: membership is kept as an *incrementally sorted* list
+(``insort``/bisect per join/leave) instead of re-sorting the whole
+set on every announce, and the "everyone but the requester" population
+handed to ``rng.sample`` is a lazy :class:`_SkipView` rather than an
+O(n) copy.  Both changes are trace-neutral: the view's ``__len__`` /
+``__getitem__`` return exactly what the materialized list would, so
+the seeded RNG consumes the identical draw sequence.
 """
 
 from __future__ import annotations
 
+from bisect import bisect_left, insort
+from collections.abc import Sequence as _SequenceABC
 from random import Random
-from typing import List, Set
+from typing import List, Optional, Set
+
+
+class _SkipView(_SequenceABC):
+    """Read-only view of a sorted list with one index elided.
+
+    ``random.Random.sample`` only needs ``len()`` and integer
+    indexing, so presenting the membership list minus the requester
+    this way avoids copying 100k ids per announce while yielding the
+    exact element sequence of the copied list.
+    """
+
+    __slots__ = ("_items", "_skip")
+
+    def __init__(self, items: List[str], skip: Optional[int]):
+        self._items = items
+        self._skip = skip
+
+    def __len__(self) -> int:
+        return len(self._items) - (0 if self._skip is None else 1)
+
+    def __getitem__(self, i):
+        if isinstance(i, slice):  # pragma: no cover - sample never slices
+            return [self[j] for j in range(*i.indices(len(self)))]
+        n = len(self)
+        if i < 0:
+            i += n
+        if not 0 <= i < n:
+            raise IndexError(i)
+        skip = self._skip
+        if skip is not None and i >= skip:
+            i += 1
+        return self._items[i]
 
 
 class Tracker:
@@ -23,15 +65,22 @@ class Tracker:
         self.rng = rng
         self.list_size = list_size
         self._members: Set[str] = set()
+        #: The members in sorted order, maintained incrementally.
+        self._sorted: List[str] = []
         self.announce_count = 0
 
     def join(self, peer_id: str) -> None:
         """Register a peer as a swarm member."""
-        self._members.add(peer_id)
+        if peer_id not in self._members:
+            self._members.add(peer_id)
+            insort(self._sorted, peer_id)
 
     def leave(self, peer_id: str) -> None:
         """Deregister a departing peer; idempotent."""
-        self._members.discard(peer_id)
+        if peer_id in self._members:
+            self._members.discard(peer_id)
+            idx = bisect_left(self._sorted, peer_id)
+            del self._sorted[idx]
 
     def announce(self, peer_id: str) -> List[str]:
         """Return up to ``list_size`` random members other than the
@@ -39,11 +88,19 @@ class Tracker:
         self.announce_count += 1
         # Sorted so results depend only on the seeded RNG, not on
         # per-process string hashing.
-        others = [m for m in sorted(self._members) if m != peer_id]
-        if len(others) <= self.list_size:
+        members = self._sorted
+        idx = bisect_left(members, peer_id)
+        skip: Optional[int] = (
+            idx if idx < len(members) and members[idx] == peer_id else None)
+        n = len(members) - (0 if skip is None else 1)
+        if n <= self.list_size:
+            if skip is None:
+                others = list(members)
+            else:
+                others = members[:skip] + members[skip + 1:]
             self.rng.shuffle(others)
             return others
-        return self.rng.sample(others, self.list_size)
+        return self.rng.sample(_SkipView(members, skip), self.list_size)
 
     @property
     def member_count(self) -> int:

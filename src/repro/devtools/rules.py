@@ -26,6 +26,9 @@ SL010     ad-hoc ``book.wanted() & ...`` interest intersection inside
 SL011     ad-hoc checkpoint/manifest/state-file writes under
           ``experiments/`` outside the ``fabric/`` package (bypasses
           atomic, verified sweep persistence)
+SL012     per-peer Python-object iteration (``... in peers.values()``
+          / ``.items()``) inside ``bt/`` (bypasses the columnar
+          swarm state; O(N) object walks on hot paths)
 SL101     deep: wall-clock value reaches a schedule/rng/metrics sink
           through any number of call hops
 SL102     deep: global-``random`` value reaches a deterministic sink
@@ -842,6 +845,75 @@ class AdHocSweepStateRule(Rule):
                         self, node,
                         f"`.{func.attr}(...)` under experiments/: "
                         f"{self._GUIDANCE}")
+
+
+# ----------------------------------------------------------------------
+# SL012 — per-peer object iteration inside bt/ (columnar bypass)
+# ----------------------------------------------------------------------
+@register
+class PerPeerObjectScanRule(Rule):
+    """SL012: swarm-scale code must not walk peer objects one by one.
+
+    ``for p in self.peers.values()`` (and its comprehension/``items()``
+    variants) materializes every live ``Peer`` object per call — the
+    exact O(N)-objects-per-event shape the columnar swarm state
+    (:mod:`repro.bt.columnar`) exists to replace with flat row arrays
+    and piece bitmasks.  At flash-crowd scale (100k peers) one such
+    walk on a hot path dominates the whole event loop.  Route scans
+    through ``swarm.columnar`` (``interested_ids`` / ``availability``
+    / ``live_neighbors`` / the adjacency rows) or the interest-index
+    helpers instead; consistency checkers and cold-path accessors that
+    genuinely need the objects carry an explicit suppression with a
+    justification.
+    """
+
+    id = "SL012"
+    name = "per-peer-object-scan"
+    description = ("`... in peers.values()/items()` iteration inside "
+                   "bt/; use the columnar swarm state "
+                   "(repro.bt.columnar) or interest-index helpers")
+
+    @staticmethod
+    def _in_bt_package(path: str) -> bool:
+        parts = path.replace("\\", "/").split("/")
+        return "bt" in parts[:-1]
+
+    @staticmethod
+    def _is_peers_scan(node: ast.AST) -> Optional[str]:
+        """The offending dotted spelling, if ``node`` iterates a
+        ``peers`` mapping's ``.values()``/``.items()``."""
+        if not isinstance(node, ast.Call) \
+                or not isinstance(node.func, ast.Attribute) \
+                or node.func.attr not in ("values", "items"):
+            return None
+        target = node.func.value
+        if isinstance(target, ast.Name) and target.id == "peers":
+            return f"peers.{node.func.attr}()"
+        if isinstance(target, ast.Attribute) and target.attr == "peers":
+            base = dotted_name(target)
+            base = base if base is not None else "<expr>.peers"
+            return f"{base}.{node.func.attr}()"
+        return None
+
+    def check(self, ctx: FileContext) -> Iterator[Finding]:
+        if not self._in_bt_package(ctx.path):
+            return
+        for node in ast.walk(ctx.tree):
+            iters = []
+            if isinstance(node, (ast.For, ast.AsyncFor)):
+                iters.append(node.iter)
+            elif isinstance(node, (ast.ListComp, ast.SetComp,
+                                   ast.DictComp, ast.GeneratorExp)):
+                iters.extend(gen.iter for gen in node.generators)
+            for it in iters:
+                spelling = self._is_peers_scan(it)
+                if spelling is not None:
+                    yield ctx.finding(
+                        self, it,
+                        f"per-peer object iteration `{spelling}` in "
+                        f"bt/; walk the columnar swarm state "
+                        f"(repro.bt.columnar) instead of live Peer "
+                        f"objects")
 
 
 # ----------------------------------------------------------------------

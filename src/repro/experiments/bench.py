@@ -27,9 +27,15 @@ changes land with numbers instead of adjectives:
   asserting bit-identical merged output; plus a kill-resume scenario
   (seeded ``WorkerKill`` SIGKILL, quarantine, ``resume_sweep``) that
   must reproduce the plain results exactly.
+* **tchain_crowd** — flash-crowd scale leg over the columnar swarm
+  state (:mod:`repro.bt.columnar`): T-Chain crowds of 1k/10k/100k
+  leechers (``--quick``: 1k only) run to completion, reporting
+  peers/sec and peak bytes-per-peer (tracemalloc at ≤10k, RSS delta
+  at 100k where tracing would dominate memory itself).
 
-Results are written as JSON (default ``BENCH_PR5.json`` in the current
-directory) next to the frozen pre-PR baseline measured on the same
+Results are written as JSON (default :data:`DEFAULT_REPORT_PATH` in
+the current directory) next to the frozen pre-PR baseline measured on
+the same
 workloads, so the delta the optimisation pass bought is visible in the
 artifact itself.  Numbers are machine-relative: compare against the
 baseline ratio, not across machines.
@@ -49,6 +55,10 @@ from repro.experiments.parallel import (
     run_specs,
 )
 from repro.sim.engine import Simulator
+
+#: Default report filename.  ``repro bench --out`` and the CLI help
+#: text must agree with this constant (pinned by a CLI test).
+DEFAULT_REPORT_PATH = "BENCH_PR8.json"
 
 #: Pre-PR throughput on the development machine (best of 5) for the two
 #: pinned workloads below, measured at commit 89ddfb9 before the engine
@@ -291,6 +301,86 @@ def bench_sweep_fabric(n_seeds: int, workers: Optional[int] = None,
     }
 
 
+#: Flash-crowd sizes for the columnar scale leg; quick mode (the CI
+#: bench smoke) runs only the smallest.
+CROWD_SIZES = (1_000, 10_000, 100_000)
+CROWD_SIZES_QUICK = (1_000,)
+
+#: Above this population tracemalloc's per-allocation traces would
+#: cost more memory than the swarm itself, so the leg switches from
+#: tracemalloc peak to the process RSS delta.
+CROWD_TRACEMALLOC_MAX = 10_000
+
+#: The crowd scenario: a pure flash arrival of compliant T-Chain
+#: leechers on a small file.  The interest index is off (its per-join
+#: pair scan is O(N) and it is redundant with the columnar masks);
+#: the columnar backend is on — this leg exists to keep 100k peers on
+#: one host feasible and measured.
+CROWD_SPEC = dict(protocol="tchain", seed=7, pieces=4,
+                  piece_size_kb=64.0, freerider_fraction=0.0,
+                  arrival="flash")
+
+
+def bench_tchain_crowd(quick: bool = False,
+                       sizes: Optional[tuple] = None
+                       ) -> List[Dict[str, object]]:
+    """Scale leg: T-Chain flash crowds over the columnar backend.
+
+    Each size runs once (a 100k-peer swarm is its own repetition),
+    must complete — every leecher finishes the file — and reports
+    peers/sec plus peak bytes-per-peer.  Memory is tracemalloc's peak
+    for the sizes where tracing is affordable and the ``ru_maxrss``
+    delta at the top size.
+    """
+    import resource
+    import tracemalloc
+
+    from repro.experiments import run_swarm
+
+    if sizes is None:
+        sizes = CROWD_SIZES_QUICK if quick else CROWD_SIZES
+    rows: List[Dict[str, object]] = []
+    for leechers in sizes:
+        traced = leechers <= CROWD_TRACEMALLOC_MAX
+        if traced:
+            tracemalloc.start()
+        rss_before_kb = resource.getrusage(
+            resource.RUSAGE_SELF).ru_maxrss
+        start = time.perf_counter()  # simlint: disable=SL002 -- benchmark measures real wall-time by design
+        result = run_swarm(leechers=leechers,
+                           extra={"columnar": True,
+                                  "interest_index": False},
+                           **CROWD_SPEC)
+        wall = time.perf_counter() - start  # simlint: disable=SL002 -- see above
+        if traced:
+            _, peak_bytes = tracemalloc.get_traced_memory()
+            tracemalloc.stop()
+            memory_source = "tracemalloc_peak"
+        else:
+            rss_after_kb = resource.getrusage(
+                resource.RUSAGE_SELF).ru_maxrss
+            peak_bytes = (rss_after_kb - rss_before_kb) * 1024
+            memory_source = "rss_delta"
+        finished = sum(1 for rec in result.metrics.records
+                       if rec.kind == "leecher"
+                       and rec.finish_time is not None)
+        if finished != leechers:  # pragma: no cover - would be a bug
+            raise AssertionError(
+                f"tchain_crowd({leechers}): only {finished} leechers "
+                f"completed — the crowd did not finish")
+        rows.append({
+            "leechers": leechers,
+            "completed": finished,
+            "events_fired": result.swarm.sim.events_fired,
+            "wall_time_s": round(wall, 2),
+            "peers_per_second": round(leechers / wall, 1),
+            "peak_bytes": int(peak_bytes),
+            "bytes_per_peer": round(peak_bytes / leechers),
+            "memory_source": memory_source,
+        })
+    return rows
+
+
 #: Scenario for the index-equivalence leg: free-riders whitewash and
 #: leechers leave on completion, so the index sees real churn.
 INDEX_EQUIV_SPEC = dict(protocol="tchain", seed=7, leechers=12,
@@ -497,6 +587,7 @@ def run_bench(quick: bool = False, repeat: int = 3,
         "parallel": bench_parallel(n_seeds, workers=workers),
         "sweep_fabric": bench_sweep_fabric(n_seeds, workers=workers,
                                            repeat=repeat, quick=quick),
+        "tchain_crowd": bench_tchain_crowd(quick=quick),
         "index_equivalence": bench_index_equivalence(),
         "lint_deep": bench_lint_deep(),
         "simrace": bench_simrace(),

@@ -446,6 +446,59 @@ class TestSL011AdHocSweepState:
         assert [f for f in findings if f.rule == "SL011"] == []
 
 
+class TestSL012PerPeerObjectScan:
+    def test_for_loop_over_peers_values_flagged(self):
+        assert rules_of("""
+            def scan(self):
+                for peer in self.swarm.peers.values():
+                    peer.pump()
+        """, path="src/repro/bt/choking.py") == ["SL012"]
+
+    def test_comprehension_over_peers_items_flagged(self):
+        assert rules_of("""
+            def actives(self):
+                return [p for _, p in self.peers.items() if p.active]
+        """, path="src/repro/bt/protocols/tchain.py") == ["SL012"]
+
+    def test_bare_peers_values_flagged(self):
+        assert rules_of("""
+            def scan(peers):
+                for p in peers.values():
+                    p.pump()
+        """, path="src/repro/bt/swarm.py") == ["SL012"]
+
+    def test_outside_bt_package_clean(self):
+        snippet = """
+            def scan(self):
+                for peer in self.swarm.peers.values():
+                    peer.pump()
+        """
+        assert rules_of(snippet,
+                        path="src/repro/experiments/runner.py") == []
+        assert rules_of(snippet,
+                        path="src/repro/analysis/tables.py") == []
+
+    def test_non_peers_iteration_clean(self):
+        assert rules_of("""
+            def scan(self):
+                for book in self.books.values():
+                    book.refresh()
+        """, path="src/repro/bt/swarm.py") == []
+
+    def test_suppression_honoured(self):
+        assert rules_of("""
+            def metrics(self):
+                return [p for p in self.peers.values()  # simlint: disable=SL012 -- cold path
+                        if p.kind == "seeder"]
+        """, path="src/repro/bt/swarm.py") == []
+
+    def test_real_bt_package_clean_modulo_suppressions(self):
+        package = os.path.join(os.path.dirname(__file__), "..",
+                               "src", "repro", "bt")
+        findings = lint_paths([package])
+        assert [f for f in findings if f.rule == "SL012"] == []
+
+
 class TestSuppression:
     def test_line_suppression(self):
         assert rules_of(

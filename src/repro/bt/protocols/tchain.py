@@ -40,6 +40,7 @@ sealed piece and re-fetches).  All of it is accounted in
 
 from __future__ import annotations
 
+import sys
 from typing import Dict, List, Optional, Set, Tuple, TYPE_CHECKING
 
 from repro.bt.columnar import ColumnarBook, set_to_mask
@@ -60,6 +61,8 @@ from repro.core.messages import (
     EncryptedPieceMessage,
     PlainPieceMessage,
     PleadMessage,
+    acquire_plain_piece,
+    release_plain_piece,
 )
 from repro.core.policy import (
     PayeeDecision,
@@ -125,6 +128,11 @@ class TChainState:
             "control_retry_base_s", CONTROL_RETRY_BASE_S)
         self.retry_attempts = config.extra.get(
             "control_retry_attempts", CONTROL_RETRY_ATTEMPTS)
+        # Recycle terminated-chain piece messages through the pool in
+        # core.messages (SL304).  On by default; the alloc-audit
+        # harness diffs full traces with the flag off to prove the
+        # pool is invisible to the simulation.
+        self.pool_messages = config.extra.get("pool_messages", True)
         # Registry sampling is order-free (no SL203 listing), so it is
         # the one timer the coalescing gate lets join a shared herd
         # when ``extra["coalesce_timers"]`` is on.
@@ -487,11 +495,18 @@ class _TChainNode(Peer):
                 reciprocates=(reciprocates.transaction_id
                               if reciprocates else None),
                 encrypted=False)
-            payload = PlainPieceMessage(
-                transaction_id=tx.transaction_id, chain_id=chain.chain_id,
-                piece_index=piece, donor_id=self.id,
-                requestor_id=requestor.id,
-                reciprocates=tx.reciprocates)
+            if self.state.pool_messages:
+                payload = acquire_plain_piece(
+                    transaction_id=tx.transaction_id,
+                    chain_id=chain.chain_id, piece_index=piece,
+                    donor_id=self.id, requestor_id=requestor.id,
+                    reciprocates=tx.reciprocates)
+            else:
+                payload = PlainPieceMessage(  # simlint: disable=SL304 -- pool_messages=False escape hatch for the trace-neutrality diff
+                    transaction_id=tx.transaction_id,
+                    chain_id=chain.chain_id, piece_index=piece,
+                    donor_id=self.id, requestor_id=requestor.id,
+                    reciprocates=tx.reciprocates)
             return UploadPlan(receiver_id=requestor.id, piece=piece,
                               payload=payload,
                               meta={"tx": tx.transaction_id})
@@ -533,6 +548,22 @@ class _TChainNode(Peer):
             if timeout:
                 self.sim.schedule(timeout, _check_stall, self.state,
                                   plan.payload.transaction_id)
+
+    def on_payload_delivered(self, plan: UploadPlan, payload) -> None:
+        """Reclaim a consumed plain-piece message for the pool.
+
+        Only when the receiver kept no reference: at this point the
+        expected holders are the delivery frame's local, our
+        ``payload`` parameter and ``getrefcount``'s own argument —
+        three in total once ``plan.payload`` is dropped.  Anything
+        above that means someone retained the message (a test, a
+        collector) and it must not be recycled under them.
+        """
+        if self.state.pool_messages \
+                and type(payload) is PlainPieceMessage:
+            plan.payload = None
+            if sys.getrefcount(payload) <= 3:
+                release_plain_piece(payload)
 
     def on_report(self, transaction_id: int, truthful: bool) -> None:
         """A reception report arrived for a transaction we donated."""
@@ -827,11 +858,17 @@ class _TChainNode(Peer):
                 candidates.append(peer)
         if not candidates:
             return None
-        candidates.sort(key=lambda p: p.id)
+        candidates.sort(key=_peer_id)
         return self.sim.rng.choice(candidates)
 
     def _abort_on_departure(self, tx: Transaction) -> None:
         _orphan_exchange(self.state, tx)
+
+
+def _peer_id(peer: Peer) -> str:
+    """Sort key for candidate lists (module-level so per-event sorts
+    don't rebuild a closure each call — SL303)."""
+    return peer.id
 
 
 def _check_stall(state: TChainState, transaction_id: int) -> None:

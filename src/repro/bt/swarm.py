@@ -43,8 +43,14 @@ class Swarm:
         self.config = config
         # The raw value flows through so ``"races"`` selects the
         # order-sensitivity reporter, not just the boolean sanitizer.
-        self.sim = Simulator(seed=config.seed,
-                             sanitize=config.extra.get("sanitize", False))
+        # ``profile="alloc"`` attaches the per-event allocation
+        # profiler; ``pool_events=False`` disables EventHandle reuse
+        # (the alloc_audit bench leg runs both ways).
+        self.sim = Simulator(
+            seed=config.seed,
+            sanitize=config.extra.get("sanitize", False),
+            profile=config.extra.get("profile", False),
+            pool_events=config.extra.get("pool_events", True))
         self.torrent = Torrent(config.n_pieces, config.piece_size_kb)
         self.tracker = Tracker(self.sim.rng, config.tracker_list_size)
         self.topology = Topology(config.max_neighbors,

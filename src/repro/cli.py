@@ -55,7 +55,7 @@ Examples
     python -m repro models
     python -m repro lint src/ --disable SL004
     python -m repro chaos --seeds 0 1 2 3 --workers 4
-    python -m repro bench --quick --out BENCH_PR8.json
+    python -m repro bench --quick --out BENCH_PR9.json
     python -m repro sweep --protocols tchain bittorrent --seeds 20 \
         --sweep-dir results/sweep1 --workers 4 --verify
     python -m repro sweep --resume results/sweep1 --workers 4
@@ -74,6 +74,7 @@ from repro.analysis.reporting import format_table
 from repro.attacks.freerider import FreeRiderOptions
 from repro.bt.protocols import PROTOCOLS
 from repro.experiments import run_swarm
+from repro.experiments.bench import DEFAULT_REPORT_PATH
 from repro.experiments.config import ExperimentScale
 from repro.experiments.parallel import ENV_WORKERS, RunSpec, run_specs
 
@@ -149,9 +150,10 @@ def build_parser() -> argparse.ArgumentParser:
     lint_p.add_argument("--deep", action="store_true",
                         help="whole-program passes: interprocedural "
                              "nondeterminism taint (SL101-SL104), "
-                             "protocol conformance (SL110-SL112) and "
+                             "protocol conformance (SL110-SL112), "
                              "simrace same-instant commutativity "
-                             "(SL201-SL203)")
+                             "(SL201-SL203) and simheat hot-path "
+                             "allocation audit (SL301-SL304)")
     lint_p.add_argument("--format", choices=("text", "json", "sarif"),
                         default="text",
                         help="report format (default: text)")
@@ -161,6 +163,9 @@ def build_parser() -> argparse.ArgumentParser:
     lint_p.add_argument("--write-baseline", action="store_true",
                         help="write the current findings to the "
                              "--baseline file instead of failing")
+    lint_p.add_argument("--prune-baseline", action="store_true",
+                        help="drop --baseline entries whose finding "
+                             "no longer fires (see SL013)")
     lint_p.add_argument("--strict-suppressions", action="store_true",
                         help="treat unused-suppression warnings "
                              "(SL009) as errors")
@@ -249,11 +254,9 @@ def build_parser() -> argparse.ArgumentParser:
                          help="CI smoke matrix (smaller, 1 repetition)")
     bench_p.add_argument("--repeat", type=int, default=3,
                          help="repetitions per workload (best-of)")
-    # Keep this literal in sync with bench.DEFAULT_REPORT_PATH (pinned
-    # by a CLI test); importing the bench module here would drag the
-    # experiment stack into every CLI start-up.
-    bench_p.add_argument("--out", default="BENCH_PR8.json",
-                         help="report path (default: BENCH_PR8.json)")
+    bench_p.add_argument("--out", default=DEFAULT_REPORT_PATH,
+                         help="report path (default: "
+                              f"{DEFAULT_REPORT_PATH})")
     bench_p.add_argument("--workers", type=int, default=None,
                          help="workers for the parallel leg (default: "
                               "min(4, cpus))")
@@ -487,6 +490,20 @@ def cmd_lint(args) -> int:
         report = run_deep(paths, enabled=enabled,
                           exclude=config.exclude, cache_path=cache_path)
         findings = report.findings
+        # Per-pass timing on stderr: stdout must stay clean for the
+        # json/sarif formats (CI pipes them straight into parsers).
+        stats = report.stats
+        timings = stats.get("timings", {})
+        shown = ", ".join(
+            f"{name[:-2]} {timings[name]:.3f}s"
+            for name in ("files_s", "index_s", "taint_s", "races_s",
+                         "simheat_s") if name in timings)
+        cached = ", ".join(
+            name for name in ("taint", "races", "simheat")
+            if stats.get(f"{name}_reused"))
+        print(f"simlint --deep: {stats['files']} files; {shown}; "
+              f"cached: {cached or 'none (cold run)'}",
+              file=sys.stderr)
     else:
         findings = []
         for path in iter_python_files(paths, exclude=config.exclude):
@@ -498,9 +515,18 @@ def cmd_lint(args) -> int:
             findings.extend(kept)
             broken = kept and kept[0].rule == "SL000"
             if "SL009" in enabled and not broken:
-                findings.extend(index.filter(index.unused_findings()))
+                # A plain lint never runs the whole-program passes,
+                # so suppressions of deep-only rules cannot be proven
+                # stale here; only `--deep` may flag them.
+                from repro.devtools.deep import DEEP_RULES
+                findings.extend(index.filter(
+                    index.unused_findings(ignore=DEEP_RULES)))
         findings.sort(key=lambda f: (f.path, f.line, f.col, f.rule))
 
+    if args.prune_baseline and not args.baseline:
+        print("error: --prune-baseline requires --baseline",
+              file=sys.stderr)
+        return 2
     if args.write_baseline:
         target = args.baseline or "simlint-baseline.json"
         lint_output.write_baseline(target, [
@@ -514,8 +540,19 @@ def cmd_lint(args) -> int:
             print(f"error: no such baseline: {args.baseline}",
                   file=sys.stderr)
             return 2
+        baseline_fps = lint_output.load_baseline(args.baseline)
+        if args.prune_baseline:
+            dropped = lint_output.prune_baseline(args.baseline, findings)
+            print(f"simlint: pruned {dropped} stale baseline "
+                  f"entr{'y' if dropped == 1 else 'ies'} from "
+                  f"{args.baseline}")
+            baseline_fps = lint_output.load_baseline(args.baseline)
+        elif "SL013" in enabled:
+            findings = findings + lint_output.stale_baseline_findings(
+                findings, baseline_fps, args.baseline)
+            findings.sort(key=lambda f: (f.path, f.line, f.col, f.rule))
         findings, baselined = lint_output.apply_baseline(
-            findings, lint_output.load_baseline(args.baseline))
+            findings, baseline_fps)
 
     print(lint_output.RENDERERS[args.format](findings, baselined))
     if lint_output.in_github_actions():
@@ -685,6 +722,24 @@ def cmd_bench(args) -> int:
             (f"tchain crowd {crowd['leechers']} peak bytes/peer "
              f"({crowd['memory_source']})",
              crowd["bytes_per_peer"]))
+    for audit in report["alloc_audit"]["sizes"]:
+        pooled, unpooled = audit["pooled"], audit["unpooled"]
+        rows.append(
+            (f"alloc audit {audit['leechers']} leechers "
+             f"(bytes/event pooled vs unpooled)",
+             f"{pooled['bytes_per_event']} vs "
+             f"{unpooled['bytes_per_event']} "
+             f"(-{audit['bytes_per_event_drop']:.0%})"))
+        rows.append(
+            (f"alloc audit {audit['leechers']} leechers "
+             f"(allocs/event pooled vs unpooled)",
+             f"{pooled['allocs_per_event']} vs "
+             f"{unpooled['allocs_per_event']} "
+             f"(-{audit['allocs_per_event_drop']:.0%})"))
+    neutral = report["alloc_audit"]["trace_neutrality"]
+    rows.append((f"pooling on == off "
+                 f"({neutral['events_compared']} events)",
+                 neutral["identical"]))
     equiv = report["index_equivalence"]
     rows.append((f"interest index on == off "
                  f"({equiv['events_compared']} events)",

@@ -91,10 +91,20 @@ class SuppressionIndex:
     def filter(self, findings: Iterable[Finding]) -> List[Finding]:
         return [f for f in findings if not self.suppresses(f)]
 
-    def unused_findings(self) -> List[Finding]:
-        """SL009 diagnostics for suppressions that matched nothing."""
+    def unused_findings(self,
+                        ignore: Iterable[str] = ()) -> List[Finding]:
+        """SL009 diagnostics for suppressions that matched nothing.
+
+        ``ignore`` names rules whose passes did not run this
+        invocation (the deep-only ids on a plain lint): their
+        suppressions cannot be proven stale, so they are skipped
+        instead of flagged.
+        """
+        skip = set(ignore)
         out = []
         for lineno, scope, rule in self.declared:
+            if rule in skip:
+                continue
             key = ("file", rule) if scope == "file" \
                 else ("line", rule, lineno)
             if key in self._used:

@@ -9,22 +9,27 @@ Composes the analysis passes over one file set:
   via :mod:`repro.devtools.taint`);
 * same-instant commutativity races (SL201–SL203, whole-program, via
   :mod:`repro.devtools.races` over the effect summaries of
-  :mod:`repro.devtools.effects`).
+  :mod:`repro.devtools.effects`);
+* hot-path allocation audit (SL301–SL304, whole-program, via
+  :mod:`repro.devtools.allocsum` over the hot regions of
+  :mod:`repro.devtools.hotpath`).
 
 Caching model — honest about scope:
 
 * rule and protocol findings are **file-local**, so they are cached
   per file under the file's content sha256;
-* taint and race findings depend on the entire call graph, so each is
-  cached under a whole-project fingerprint (the hash of every file's
-  hash); touching *any* file re-runs those passes globally (the
-  :class:`~repro.devtools.callgraph.ProjectIndex` is built once and
-  shared when both miss).
+* taint, race and simheat findings depend on the entire call graph,
+  so each is cached under a whole-project fingerprint (the hash of
+  every file's hash); touching *any* file re-runs those passes
+  globally (the :class:`~repro.devtools.callgraph.ProjectIndex` is
+  built once and shared when any miss).
 
 Suppression comments are re-read every run (they live in the files,
 so an edited comment changes the hash anyway) and usage is tracked
-across all three passes before unused-suppression (SL009)
-diagnostics are emitted.
+across every pass before unused-suppression (SL009) diagnostics are
+emitted.  ``stats["timings"]`` carries per-pass wall time so the
+``lint_deep`` bench leg can attribute cost (cold vs cached) to each
+pass.
 """
 
 from __future__ import annotations
@@ -33,9 +38,11 @@ import ast
 import hashlib
 import json
 import os
+import time
 from dataclasses import dataclass, field
 from typing import Dict, Iterable, List, Optional, Sequence, Tuple
 
+from repro.devtools.allocsum import run_simheat
 from repro.devtools.analyzer import (SuppressionIndex, iter_python_files,
                                      raw_findings)
 from repro.devtools.callgraph import ProjectIndex
@@ -45,13 +52,14 @@ from repro.devtools.races import run_races
 from repro.devtools.rules import Finding
 from repro.devtools.taint import run_taint
 
-CACHE_VERSION = 2
+CACHE_VERSION = 3
 DEFAULT_CACHE = ".simlint-cache.json"
 
 #: Deep-only rule ids (metadata-registered in rules.py; produced here).
 DEEP_RULES = ("SL101", "SL102", "SL103", "SL104",
               "SL110", "SL111", "SL112",
-              "SL201", "SL202", "SL203")
+              "SL201", "SL202", "SL203",
+              "SL301", "SL302", "SL303", "SL304")
 
 
 def _sha256(text: str) -> str:
@@ -90,6 +98,7 @@ class _Cache:
         self.files: Dict[str, Dict[str, object]] = {}
         self.taint: Dict[str, object] = {}
         self.races: Dict[str, object] = {}
+        self.simheat: Dict[str, object] = {}
         if path is None or not os.path.isfile(path):
             return
         try:
@@ -102,12 +111,15 @@ class _Cache:
         files = data.get("files")
         taint = data.get("taint")
         races = data.get("races")
+        simheat = data.get("simheat")
         if isinstance(files, dict):
             self.files = files
         if isinstance(taint, dict):
             self.taint = taint
         if isinstance(races, dict):
             self.races = races
+        if isinstance(simheat, dict):
+            self.simheat = simheat
 
     def file_entry(self, path: str, digest: str
                    ) -> Optional[Dict[str, object]]:
@@ -118,11 +130,12 @@ class _Cache:
 
     def save(self, files: Dict[str, Dict[str, object]],
              taint: Dict[str, object],
-             races: Dict[str, object]) -> None:
+             races: Dict[str, object],
+             simheat: Dict[str, object]) -> None:
         if self.path is None:
             return
         payload = {"meta": self.meta, "files": files, "taint": taint,
-                   "races": races}
+                   "races": races, "simheat": simheat}
         try:
             with open(self.path, "w", encoding="utf-8") as handle:
                 json.dump(payload, handle, sort_keys=True)
@@ -136,6 +149,11 @@ def _rule_filter(findings: Iterable[Finding],
         return list(findings)
     keep = set(enabled) | {"SL000"}
     return [f for f in findings if f.rule in keep]
+
+
+def _now() -> float:
+    """Wall clock for per-pass timing: analyzer tooling, not sim code."""
+    return time.perf_counter()  # simlint: disable=SL002 -- lint-pass timing runs on the host clock, outside any simulation
 
 
 def run_deep(paths: Sequence[str],
@@ -156,9 +174,11 @@ def run_deep(paths: Sequence[str],
             sources[path] = handle.read()
         digests[path] = _sha256(sources[path])
 
+    timings: Dict[str, float] = {}
     new_file_cache: Dict[str, Dict[str, object]] = {}
     per_file: Dict[str, List[Finding]] = {}
     reused = 0
+    t0 = _now()
     for path in files:
         entry = cache.file_entry(path, digests[path])
         if entry is not None:
@@ -179,37 +199,53 @@ def run_deep(paths: Sequence[str],
         per_file[path] = findings
         new_file_cache[path] = {"hash": digests[path],
                                 "findings": _encode(findings)}
+    timings["files_s"] = _now() - t0
 
     # Whole-project fingerprint: any content change re-runs the
-    # whole-program passes (taint, races); one shared index serves
-    # both when both miss.
+    # whole-program passes (taint, races, simheat); one shared index
+    # serves all of them when any miss.
     project_hash = _sha256(json.dumps(
         [[p.replace(os.sep, "/"), digests[p]] for p in files]))
     taint_reused = cache.taint.get("fingerprint") == project_hash
     races_reused = cache.races.get("fingerprint") == project_hash
+    simheat_reused = cache.simheat.get("fingerprint") == project_hash
     index = None
-    if not (taint_reused and races_reused):
+    if not (taint_reused and races_reused and simheat_reused):
+        t0 = _now()
         clean = [(p, sources[p]) for p in files
                  if not (per_file[p] and per_file[p][0].rule == "SL000")]
         index = ProjectIndex.build(clean)
+        timings["index_s"] = _now() - t0
+    t0 = _now()
     if taint_reused:
         taint_findings = _decode(cache.taint.get("findings", []))
     else:
         taint_findings = _rule_filter(run_taint(index), enabled_list)
+    timings["taint_s"] = _now() - t0
+    t0 = _now()
     if races_reused:
         races_findings = _decode(cache.races.get("findings", []))
     else:
         races_findings = _rule_filter(run_races(index), enabled_list)
+    timings["races_s"] = _now() - t0
+    t0 = _now()
+    if simheat_reused:
+        simheat_findings = _decode(cache.simheat.get("findings", []))
+    else:
+        simheat_findings = _rule_filter(run_simheat(index), enabled_list)
+    timings["simheat_s"] = _now() - t0
     cache.save(new_file_cache,
                {"fingerprint": project_hash,
                 "findings": _encode(taint_findings)},
                {"fingerprint": project_hash,
-                "findings": _encode(races_findings)})
+                "findings": _encode(races_findings)},
+               {"fingerprint": project_hash,
+                "findings": _encode(simheat_findings)})
 
     # Suppression filtering + usage accounting across every pass.
     all_findings: List[Finding] = []
     taint_by_path: Dict[str, List[Finding]] = {}
-    for finding in taint_findings + races_findings:
+    for finding in taint_findings + races_findings + simheat_findings:
         taint_by_path.setdefault(finding.path, []).append(finding)
     for path in files:
         idx = SuppressionIndex(path, sources[path].splitlines())
@@ -229,6 +265,9 @@ def run_deep(paths: Sequence[str],
         "files_analyzed": len(files) - reused,
         "taint_reused": taint_reused,
         "races_reused": races_reused,
+        "simheat_reused": simheat_reused,
+        "timings": {key: round(value, 6)
+                    for key, value in sorted(timings.items())},
         "cache": cache_path,
     }
     return report

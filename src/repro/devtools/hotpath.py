@@ -1,0 +1,261 @@
+"""Hot-region inference for the simheat allocation audit (SL3xx).
+
+Every function in the project is assigned a **static frequency
+class** — how often it runs relative to the simulation's event loop —
+by seeding the call graph (:mod:`repro.devtools.callgraph`) from the
+same schedule-site population :mod:`repro.devtools.races` buckets and
+propagating along call and schedule-callback edges:
+
+* ``event`` — runs once per simulation event (or a constant multiple
+  of it).  Seeds: ``call_now(...)`` / ``schedule(0, ...)`` sites,
+  schedule sites whose delay is a *computed* expression (transfer
+  completions, data-driven backoff — those fire as often as the
+  events that schedule them), and protocol message handlers
+  (``on_*`` / ``receive_*`` / ``handle_*`` methods, the entry points
+  control-plane delivery invokes per message).
+* ``round`` — runs once per timer round.  Seeds:
+  :class:`~repro.sim.events.PeriodicTask` callbacks and schedule
+  sites whose delay is a literal or an ALL-CAPS constant (rechoke
+  intervals, retry backoff bases).
+* ``setup`` — everything else: module import, constructors and
+  wiring reached only from them.  Setup regions are never reported.
+
+Frequency is monotone along calls: a callee inherits the fastest
+class of any caller (a helper called from one handler and one
+constructor is ``event``).  A ``round`` function *upgrades* to
+``event`` when an event-class region reaches it, because scheduling
+*from* a hot region makes the callback hot regardless of its delay:
+a 30 s timeout armed per piece upload still allocates one timer per
+event.
+
+Each classified function carries the shortest seed→function **chain**
+(mirroring the taint pass's source→sink traces) so SL3xx diagnostics
+can show *why* the analysis considers a region hot.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Dict, List, NamedTuple, Optional, Tuple
+
+from .callgraph import (FunctionInfo, ProjectIndex, SCHEDULE_METHODS,
+                        iter_own_nodes)
+from .rules import dotted_name
+
+#: Frequency classes, fastest first.
+FREQ_EVENT = "event"
+FREQ_ROUND = "round"
+FREQ_SETUP = "setup"
+
+_RANK = {FREQ_EVENT: 2, FREQ_ROUND: 1, FREQ_SETUP: 0}
+
+#: Method-name prefixes that mark protocol message handlers (the
+#: receive-side per-event entry points control delivery invokes).
+HANDLER_PREFIXES = ("on_", "_on_", "receive_", "handle_")
+
+#: ``on_*`` names that are *lifecycle* hooks, not message handlers:
+#: they fire per join/leave/round, so they must not seed the event
+#: class (propagation still upgrades them if a hot region calls in).
+LIFECYCLE_HANDLERS = frozenset({
+    "on_join", "on_leave", "on_rescan", "on_whitewash", "on_rebranded",
+    "on_download_complete", "on_neighbor_connected",
+    "on_neighbor_disconnected", "on_peer_finished",
+})
+
+#: Cap on chain length carried in diagnostics.
+_MAX_CHAIN = 10
+
+
+class HotStep(NamedTuple):
+    """One link of a seed→function chain."""
+
+    text: str
+    path: str
+    line: int
+
+
+class HotRegion(NamedTuple):
+    """A function with its inferred frequency class and provenance."""
+
+    qualname: str
+    freq: str
+    chain: Tuple[HotStep, ...]
+
+
+def _short(qualname: str) -> str:
+    return ".".join(qualname.split(".")[-2:])
+
+
+def _is_const_delay(node: ast.AST) -> bool:
+    """Literal number, ALL-CAPS constant, or attribute chain ending in
+    one (``self.state.key_timeout_s`` counts: config-pinned, not
+    event-data-driven)."""
+    if isinstance(node, ast.Constant) \
+            and isinstance(node.value, (int, float)) \
+            and not isinstance(node.value, bool):
+        return True
+    if isinstance(node, ast.UnaryOp):
+        return _is_const_delay(node.operand)
+    dotted = dotted_name(node)
+    return dotted is not None
+
+
+class _Seed(NamedTuple):
+    qualname: str
+    freq: str
+    step: HotStep
+
+
+def _schedule_seeds(index: ProjectIndex) -> List[_Seed]:
+    """Seeds from schedule/call_now/PeriodicTask sites."""
+    seeds: List[_Seed] = []
+    for info in index.functions.values():
+        for node in iter_own_nodes(info):
+            if not isinstance(node, ast.Call):
+                continue
+            seed = _schedule_seed(index, info, node) \
+                or _periodic_seed(index, info, node)
+            if seed is not None:
+                seeds.append(seed)
+    return seeds
+
+
+def _schedule_seed(index: ProjectIndex, info: FunctionInfo,
+                   node: ast.Call) -> Optional[_Seed]:
+    func = node.func
+    if not isinstance(func, ast.Attribute) \
+            or func.attr not in SCHEDULE_METHODS:
+        return None
+    method = func.attr
+    cb_index = 0 if method == "call_now" else 1
+    if len(node.args) <= cb_index:
+        return None
+    handler = index.resolve_callable(info, node.args[cb_index])
+    if handler is None:
+        return None
+    if method == "call_now":
+        freq, how = FREQ_EVENT, "scheduled same-instant (call_now)"
+    elif method == "schedule_at":
+        # Absolute deadlines are one-shot setup unless the scheduling
+        # region itself is hot (propagation covers that case).
+        freq, how = FREQ_SETUP, "scheduled at an absolute time"
+    else:
+        delay = node.args[0]
+        if isinstance(delay, ast.Constant) and delay.value == 0:
+            freq, how = FREQ_EVENT, "scheduled same-instant (delay 0)"
+        elif _is_const_delay(delay):
+            freq, how = FREQ_ROUND, "timer with a constant delay"
+        else:
+            freq, how = FREQ_EVENT, "scheduled with an event-driven delay"
+    if freq == FREQ_SETUP:
+        return None
+    step = HotStep(f"{_short(handler)} {how} in {_short(info.qualname)}",
+                   info.path, node.lineno)
+    return _Seed(handler, freq, step)
+
+
+def _periodic_seed(index: ProjectIndex, info: FunctionInfo,
+                   node: ast.Call) -> Optional[_Seed]:
+    func = node.func
+    name = func.attr if isinstance(func, ast.Attribute) else (
+        func.id if isinstance(func, ast.Name) else None)
+    if name != "PeriodicTask" or len(node.args) < 3:
+        return None
+    handler = index.resolve_callable(info, node.args[2])
+    if handler is None:
+        return None
+    step = HotStep(f"{_short(handler)} is a PeriodicTask callback "
+                   f"in {_short(info.qualname)}", info.path, node.lineno)
+    return _Seed(handler, FREQ_ROUND, step)
+
+
+def _handler_seeds(index: ProjectIndex) -> List[_Seed]:
+    """Protocol message handlers: per-event by convention."""
+    seeds: List[_Seed] = []
+    for qualname, info in index.functions.items():
+        if info.class_name is None:
+            continue
+        if not any(info.name.startswith(p) for p in HANDLER_PREFIXES):
+            continue
+        if info.name in LIFECYCLE_HANDLERS:
+            continue
+        step = HotStep(f"{_short(qualname)} is a protocol message "
+                       f"handler", info.path, info.lineno)
+        seeds.append(_Seed(qualname, FREQ_EVENT, step))
+    return seeds
+
+
+def _override_map(index: ProjectIndex) -> Dict[str, List[str]]:
+    """Base-method qualname → subclass overrides of it.
+
+    A hot call site ``self.next_upload()`` resolves statically to the
+    *base* definition, but at runtime it dispatches to whichever
+    override the object carries — so hotness must flow from a method
+    to every override beneath it in the project's class hierarchy.
+    """
+    out: Dict[str, List[str]] = {}
+    for cls in index.classes.values():
+        for base in index._mro(cls)[1:]:
+            for name, info in cls.methods.items():
+                base_info = base.methods.get(name)
+                if base_info is not None \
+                        and base_info.qualname != info.qualname:
+                    out.setdefault(base_info.qualname,
+                                   []).append(info.qualname)
+    return {key: sorted(set(value)) for key, value in out.items()}
+
+
+def infer_hot_regions(index: ProjectIndex) -> Dict[str, HotRegion]:
+    """Frequency class + provenance chain for every non-setup function.
+
+    Returns only ``event`` and ``round`` regions; anything absent from
+    the mapping is setup-frequency and outside the audit's scope.
+    """
+    seeds = _schedule_seeds(index) + _handler_seeds(index)
+    # Deterministic worklist: process event seeds before round seeds
+    # and sort ties so chains are stable across runs.
+    seeds.sort(key=lambda s: (-_RANK[s.freq], s.qualname,
+                              s.step.path, s.step.line))
+    regions: Dict[str, HotRegion] = {}
+    work: List[str] = []
+
+    def assign(qualname: str, freq: str,
+               chain: Tuple[HotStep, ...]) -> None:
+        have = regions.get(qualname)
+        if have is not None and _RANK[have.freq] >= _RANK[freq]:
+            return
+        regions[qualname] = HotRegion(qualname, freq, chain)
+        work.append(qualname)
+
+    overrides = _override_map(index)
+    for seed in seeds:
+        if seed.qualname in index.functions:
+            assign(seed.qualname, seed.freq, (seed.step,))
+    while work:
+        qualname = work.pop(0)
+        region = regions[qualname]
+        info = index.functions.get(qualname)
+        if info is None or len(region.chain) >= _MAX_CHAIN:
+            continue
+        for callee, line, _via_schedule in sorted(info.calls):
+            if callee not in index.functions:
+                continue
+            step = HotStep(f"{_short(qualname)} calls {_short(callee)}",
+                           info.path, line)
+            assign(callee, region.freq, region.chain + (step,))
+        # Virtual dispatch: a hot base method heats every override.
+        for override in overrides.get(qualname, ()):
+            target = index.functions.get(override)
+            if target is None:
+                continue
+            step = HotStep(f"{_short(override)} overrides "
+                           f"{_short(qualname)} (virtual dispatch)",
+                           target.path, target.lineno)
+            assign(override, region.freq, region.chain + (step,))
+    return regions
+
+
+def render_chain(chain: Tuple[HotStep, ...]) -> str:
+    """Human-readable seed→function provenance, taint-trace style."""
+    return " -> ".join(f"{step.text} ({step.path}:{step.line})"
+                       for step in chain)

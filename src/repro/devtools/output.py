@@ -25,7 +25,7 @@ from typing import Dict, Iterable, List, Sequence, Set, Tuple
 from repro.devtools.rules import RULES, Finding
 
 #: Rules that warn rather than fail the run (see ``--strict-suppressions``).
-WARNING_RULES = frozenset({"SL009"})
+WARNING_RULES = frozenset({"SL009", "SL013"})
 
 SARIF_VERSION = "2.1.0"
 SARIF_SCHEMA = ("https://raw.githubusercontent.com/oasis-tcs/sarif-spec/"
@@ -79,6 +79,64 @@ def apply_baseline(findings: Sequence[Finding], baseline: Set[str],
     """Split findings into (kept, number suppressed by the baseline)."""
     kept = [f for f in findings if fingerprint(f) not in baseline]
     return kept, len(findings) - len(kept)
+
+
+def stale_baseline_findings(findings: Sequence[Finding],
+                            baseline: Set[str],
+                            baseline_path: str) -> List[Finding]:
+    """SL013 warnings for baseline entries that match no finding.
+
+    The mirror image of SL009 for baseline files: a fingerprint that
+    suppressed nothing this run is a standing grant waiting to
+    swallow a *future* finding at the same ``rule:path:line``.  Each
+    stale entry anchors at the location it names so the warning is
+    clickable next to the code it once covered.
+    """
+    live = {fingerprint(f) for f in findings}
+    out: List[Finding] = []
+    for entry in sorted(baseline - live):
+        rule, _, rest = entry.partition(":")
+        path, _, line = rest.rpartition(":")
+        try:
+            lineno = int(line)
+        except ValueError:
+            path, lineno = rest, 1
+        out.append(Finding(
+            rule="SL013", path=path or baseline_path, line=lineno,
+            col=1,
+            message=(f"baseline entry `{entry}` in {baseline_path} "
+                     f"matches no current finding; prune with "
+                     f"--prune-baseline")))
+    return out
+
+
+def prune_baseline(path: str, findings: Sequence[Finding]) -> int:
+    """Drop baseline entries that match no finding; returns the count.
+
+    Rewrites only the ``fingerprints`` list — ``notes`` and any other
+    hand-maintained keys survive.  Accepts the bare-list format too
+    (rewritten as a bare list).
+    """
+    with open(path, "r", encoding="utf-8") as handle:
+        data = json.load(handle)
+    live = {fingerprint(f) for f in findings}
+    if isinstance(data, dict):
+        entries = data.get("fingerprints", [])
+        kept = [e for e in entries if str(e) in live]
+        dropped = len(entries) - len(kept)
+        if dropped:
+            data["fingerprints"] = kept
+            with open(path, "w", encoding="utf-8") as handle:
+                json.dump(data, handle, indent=2, sort_keys=False)
+                handle.write("\n")
+        return dropped
+    kept = [e for e in data if str(e) in live]
+    dropped = len(data) - len(kept)
+    if dropped:
+        with open(path, "w", encoding="utf-8") as handle:
+            json.dump(kept, handle, indent=2)
+            handle.write("\n")
+    return dropped
 
 
 def render_text(findings: Sequence[Finding], baselined: int = 0) -> str:

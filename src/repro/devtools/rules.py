@@ -29,6 +29,9 @@ SL011     ad-hoc checkpoint/manifest/state-file writes under
 SL012     per-peer Python-object iteration (``... in peers.values()``
           / ``.items()``) inside ``bt/`` (bypasses the columnar
           swarm state; O(N) object walks on hot paths)
+SL013     stale baseline entry: a ``--baseline`` fingerprint whose
+          finding no longer fires (warning; prune with
+          ``--prune-baseline``)
 SL101     deep: wall-clock value reaches a schedule/rng/metrics sink
           through any number of call hops
 SL102     deep: global-``random`` value reaches a deterministic sink
@@ -47,6 +50,14 @@ SL202     simrace: co-schedulable read/write overlap (what one
           handler observes depends on seq order)
 SL203     simrace: periodic handler provably unsafe to coalesce
           (the safety gate for ROADMAP item 1's event coalescing)
+SL301     simheat: allocation in a per-event hot path (each event
+          pays it; the per-event garbage bill at 10^5 peers)
+SL302     simheat: O(peers)/O(pieces)-scale copy or rescan in a
+          per-event region (interprocedural SL010/SL012)
+SL303     simheat: closure/partial created per event — the code
+          object is constant, hoist it to setup
+SL304     simheat: per-event construction of a poolable type for
+          which a free-list exists (engine events, piece messages)
 ========  ==========================================================
 
 Rules are small classes registered in :data:`RULES`; adding a rule is
@@ -949,6 +960,25 @@ class UnusedSuppressionRule(MetaRule):
 
 
 @register
+class StaleBaselineEntryRule(MetaRule):
+    """SL013: a baseline fingerprint whose finding no longer fires.
+
+    The mirror image of SL009 for ``--baseline`` files: an entry that
+    matches nothing is invisible until the day a *new* finding lands
+    on the same ``rule:path:line`` and is silently swallowed by the
+    stale grant.  Reported as a warning whenever ``--baseline`` is
+    given; ``repro lint --deep --prune-baseline`` rewrites the file
+    without the stale entries.  Emitted by the CLI's baseline
+    bookkeeping.
+    """
+
+    id = "SL013"
+    name = "stale-baseline-entry"
+    description = ("baseline fingerprint that matches no current "
+                   "finding; prune with --prune-baseline (warning)")
+
+
+@register
 class DeepWallClockFlowRule(MetaRule):
     """SL101: a wall-clock read (``time.time``, ``perf_counter``,
     ``datetime.now`` ...) flows — through any number of call hops —
@@ -1105,6 +1135,78 @@ class RaceUncoalescableTimerRule(MetaRule):
     name = "race-uncoalescable-timer"
     description = ("periodic handler provably unsafe to coalesce "
                    "(--deep, simrace; ROADMAP item 1 gate)")
+
+
+@register
+class HeatPerEventAllocationRule(MetaRule):
+    """SL301: an allocation sits in a per-event hot path.
+
+    The hot-region inference marks every function reachable from
+    same-instant/event-driven schedule sites and protocol message
+    handlers; an allocation there (fresh container, tuple/dataclass
+    construction, string formatting) is paid once per simulation
+    event — the per-event garbage bill that caps 10^5→10^6-peer
+    swarms.  Emitted by the simheat pass of ``repro lint --deep``;
+    the diagnostic lists the sites and the seed→function chain.
+    """
+
+    id = "SL301"
+    name = "heat-per-event-allocation"
+    description = ("allocation in a per-event hot path (--deep, "
+                   "simheat)")
+
+
+@register
+class HeatSwarmScaleAllocationRule(MetaRule):
+    """SL302: an O(peers)/O(pieces)-scale copy, comprehension or
+    slicing executes in a per-event region.
+
+    The interprocedural generalization of the file-local SL010/SL012
+    rescan rules: the allocation's *size* grows with the swarm, so
+    per-event cost is O(N) where the engine budget is O(1).  Emitted
+    by the simheat pass of ``repro lint --deep``.
+    """
+
+    id = "SL302"
+    name = "heat-swarm-scale-allocation"
+    description = ("O(swarm)-scale copy/rescan allocation in a "
+                   "per-event region (--deep, simheat)")
+
+
+@register
+class HeatPerEventClosureRule(MetaRule):
+    """SL303: a closure, lambda, nested ``def`` or
+    ``functools.partial`` is created inside a per-event region.
+
+    The code object never changes — only the cell bindings do — so
+    the per-event function-object churn should be hoisted to setup: a
+    bound method, a module-level function, or a partial built once.
+    Emitted by the simheat pass of ``repro lint --deep``.
+    """
+
+    id = "SL303"
+    name = "heat-per-event-closure"
+    description = ("closure/partial created per event; hoist to setup "
+                   "(--deep, simheat)")
+
+
+@register
+class HeatPoolableConstructionRule(MetaRule):
+    """SL304: a per-event region constructs a poolable type directly
+    although a free-list exists for it.
+
+    Engine event handles and piece-pump messages are acquired and
+    dropped once per event; the engine's ``pool_events`` free-list
+    and the plain-piece message pool recycle them.  A direct
+    constructor call in a hot path bypasses the pool and re-opens the
+    allocation bill the pool closed.  Emitted by the simheat pass of
+    ``repro lint --deep``.
+    """
+
+    id = "SL304"
+    name = "heat-poolable-construction"
+    description = ("hot-path construction of a poolable type; use its "
+                   "free-list (--deep, simheat)")
 
 
 def all_rule_ids() -> List[str]:

@@ -32,6 +32,13 @@ changes land with numbers instead of adjectives:
   leechers (``--quick``: 1k only) run to completion, reporting
   peers/sec and peak bytes-per-peer (tracemalloc at ≤10k, RSS delta
   at 100k where tracing would dominate memory itself).
+* **alloc_audit** — the crowd scenario under the engine's per-event
+  allocation profiler (``profile="alloc"``), pooled — EventHandle
+  free-list plus plain-piece message pool, the defaults — versus
+  unpooled, reporting bytes/event and allocs/event both ways and the
+  drop the pools buy (the runtime validation of the simheat SL3xx
+  static findings).  A pooled-vs-unpooled full-trace diff on the
+  churn scenario asserts the pools are trace-neutral on every run.
 
 Results are written as JSON (default :data:`DEFAULT_REPORT_PATH` in
 the current directory) next to the frozen pre-PR baseline measured on
@@ -58,7 +65,7 @@ from repro.sim.engine import Simulator
 
 #: Default report filename.  ``repro bench --out`` and the CLI help
 #: text must agree with this constant (pinned by a CLI test).
-DEFAULT_REPORT_PATH = "BENCH_PR8.json"
+DEFAULT_REPORT_PATH = "BENCH_PR9.json"
 
 #: Pre-PR throughput on the development machine (best of 5) for the two
 #: pinned workloads below, measured at commit 89ddfb9 before the engine
@@ -381,6 +388,105 @@ def bench_tchain_crowd(quick: bool = False,
     return rows
 
 
+#: Crowd sizes for the allocation-audit leg.  Smaller ceiling than the
+#: scale leg: every size runs twice (pooled / unpooled) under the
+#: profiler, whose per-event tracemalloc reads dominate at 100k.
+ALLOC_AUDIT_SIZES = (1_000, 10_000)
+ALLOC_AUDIT_SIZES_QUICK = (1_000,)
+
+
+def bench_alloc_audit(quick: bool = False,
+                      sizes: Optional[tuple] = None
+                      ) -> Dict[str, object]:
+    """Allocation-audit leg: profiler numbers pooled vs unpooled.
+
+    Runs the pinned crowd scenario under ``profile="alloc"`` twice per
+    size — with the EventHandle free-list and the plain-piece message
+    pool enabled (the defaults) and with both disabled — and reports
+    bytes/event and allocs/event each way plus the drop the pools buy.
+    Asserts the two runs fire the same number of events, then replays
+    the churn scenario (free-riders, departures) both ways with a
+    trace observer and asserts the full ``(time, seq, callback)``
+    traces compare bit-identical: the pools must never perturb the
+    simulation, only its allocator traffic.
+    """
+    from repro.experiments import run_swarm
+
+    if sizes is None:
+        sizes = ALLOC_AUDIT_SIZES_QUICK if quick else ALLOC_AUDIT_SIZES
+
+    def profiled(leechers: int, pooled: bool) -> Dict[str, object]:
+        extra = {"columnar": True, "interest_index": False}
+        if not pooled:
+            extra.update(pool_events=False, pool_messages=False)
+        start = time.perf_counter()  # simlint: disable=SL002 -- benchmark measures real wall-time by design
+        result = run_swarm(leechers=leechers, extra=extra,
+                           profile="alloc", **CROWD_SPEC)
+        wall = time.perf_counter() - start  # simlint: disable=SL002 -- see above
+        prof = result.swarm.sim.profile
+        return {
+            "events": prof.events,
+            "bytes_per_event": round(prof.bytes_per_event(), 1),
+            "allocs_per_event": round(prof.allocs_per_event(), 2),
+            "wall_time_s": round(wall, 2),
+        }
+
+    rows: List[Dict[str, object]] = []
+    for leechers in sizes:
+        pooled = profiled(leechers, pooled=True)
+        unpooled = profiled(leechers, pooled=False)
+        if pooled["events"] != unpooled["events"]:  # pragma: no cover
+            raise AssertionError(
+                f"alloc_audit({leechers}): pooled run fired "
+                f"{pooled['events']} events, unpooled "
+                f"{unpooled['events']} — pools perturbed the run")
+        rows.append({
+            "leechers": leechers,
+            "events": pooled["events"],
+            "pooled": pooled,
+            "unpooled": unpooled,
+            "bytes_per_event_drop": round(
+                1.0 - pooled["bytes_per_event"]
+                / unpooled["bytes_per_event"], 3)
+            if unpooled["bytes_per_event"] else None,
+            "allocs_per_event_drop": round(
+                1.0 - pooled["allocs_per_event"]
+                / unpooled["allocs_per_event"], 3)
+            if unpooled["allocs_per_event"] else None,
+        })
+
+    def traced(pooled: bool) -> List[tuple]:
+        trace: List[tuple] = []
+
+        def setup(swarm):
+            swarm.sim.add_observer(
+                lambda handle: trace.append(
+                    (handle.time, handle.seq,
+                     getattr(handle.callback, "__qualname__",
+                             repr(handle.callback)))))
+
+        extra = {} if pooled else {"pool_events": False,
+                                   "pool_messages": False}
+        run_swarm(setup=setup, extra=extra, **INDEX_EQUIV_SPEC)
+        return trace
+
+    pooled_trace = traced(True)
+    unpooled_trace = traced(False)
+    if pooled_trace != unpooled_trace:  # pragma: no cover - pool bug
+        raise AssertionError(
+            "pooled run diverged from unpooled — trace neutrality "
+            "of the allocation fixes broken")
+    return {
+        "scenario": dict(CROWD_SPEC),
+        "sizes": rows,
+        "trace_neutrality": {
+            "scenario": dict(INDEX_EQUIV_SPEC),
+            "events_compared": len(pooled_trace),
+            "identical": True,
+        },
+    }
+
+
 #: Scenario for the index-equivalence leg: free-riders whitewash and
 #: leechers leave on completion, so the index sees real churn.
 INDEX_EQUIV_SPEC = dict(protocol="tchain", seed=7, leechers=12,
@@ -432,10 +538,12 @@ def bench_lint_deep(paths: tuple = ("src",)) -> Dict[str, object]:
     """Cold-vs-cached smoke of ``repro lint --deep``.
 
     The cold run pays parsing, per-file rules, protocol conformance
-    and the whole-program taint fixpoint; the warm run should be
-    dominated by hashing the unchanged files and replaying cached
-    findings.  A collapsing cold/warm ratio is the analyzer-regression
-    signal this entry exists to surface.
+    and the whole-program taint, races and simheat passes; the warm
+    run should be dominated by hashing the unchanged files and
+    replaying cached findings.  A collapsing cold/warm ratio is the
+    analyzer-regression signal this entry exists to surface; the
+    per-pass breakdown (``stats["timings"]``) says *which* pass
+    regressed.
     """
     from tempfile import TemporaryDirectory
 
@@ -454,6 +562,8 @@ def bench_lint_deep(paths: tuple = ("src",)) -> Dict[str, object]:
         warm_s = time.perf_counter() - start  # simlint: disable=SL002 -- see above
     if not warm.stats["taint_reused"]:  # pragma: no cover - cache bug
         raise AssertionError("warm --deep run did not hit the cache")
+    if not warm.stats["simheat_reused"]:  # pragma: no cover - cache bug
+        raise AssertionError("warm --deep run re-ran the simheat pass")
     return {
         "paths": targets,
         "files": cold.stats["files"],
@@ -461,6 +571,8 @@ def bench_lint_deep(paths: tuple = ("src",)) -> Dict[str, object]:
         "cold_s": round(cold_s, 3),
         "cached_s": round(warm_s, 3),
         "speedup": round(cold_s / warm_s, 1) if warm_s else None,
+        "cold_pass_timings_s": dict(cold.stats["timings"]),
+        "cached_pass_timings_s": dict(warm.stats["timings"]),
     }
 
 
@@ -588,6 +700,7 @@ def run_bench(quick: bool = False, repeat: int = 3,
         "sweep_fabric": bench_sweep_fabric(n_seeds, workers=workers,
                                            repeat=repeat, quick=quick),
         "tchain_crowd": bench_tchain_crowd(quick=quick),
+        "alloc_audit": bench_alloc_audit(quick=quick),
         "index_equivalence": bench_index_equivalence(),
         "lint_deep": bench_lint_deep(),
         "simrace": bench_simrace(),

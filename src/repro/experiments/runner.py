@@ -151,6 +151,7 @@ def run_swarm(protocol: str = "tchain",
               config: Optional[SwarmConfig] = None,
               setup: Optional[Callable[[Swarm], None]] = None,
               sanitize: object = False,
+              profile: object = False,
               fault_plan=None,
               **config_overrides) -> RunResult:
     """Run one full swarm simulation.
@@ -162,8 +163,12 @@ def run_swarm(protocol: str = "tchain",
     (see :mod:`repro.devtools.sanitizer`); the string ``"races"``
     additionally attaches the same-instant order-sensitivity reporter
     (:class:`~repro.devtools.sanitizer.RaceReporter`, the runtime
-    counterpart of the SL2xx static checks).  ``fault_plan`` attaches a
-    :class:`repro.faults.FaultPlan` through a fresh
+    counterpart of the SL2xx static checks).  ``profile="alloc"``
+    attaches the engine's per-event allocation profiler
+    (:class:`~repro.sim.engine.AllocProfile`, read back via
+    ``result.swarm.sim.profile`` — the runner closes it after the run
+    so tracemalloc does not keep taxing the process).  ``fault_plan``
+    attaches a :class:`repro.faults.FaultPlan` through a fresh
     :class:`~repro.faults.FaultInjector`; an idle plan leaves the
     event trace bit-identical to a run without one (docs/FAULTS.md).
     """
@@ -180,6 +185,9 @@ def run_swarm(protocol: str = "tchain",
         # Keep the raw value: "races" means sanitizer + RaceReporter.
         config = config.with_overrides(
             extra={**config.extra, "sanitize": sanitize})
+    if profile:
+        config = config.with_overrides(
+            extra={**config.extra, "profile": profile})
     swarm = Swarm(config)
     if fault_plan is not None:
         from repro.faults.injector import FaultInjector
@@ -233,6 +241,10 @@ def run_swarm(protocol: str = "tchain",
         # a sanitizer abort so later runs in this process are clean.
         if swarm.sim.races is not None:
             swarm.sim.races.uninstall()
+        # Stop an owned tracemalloc tracer; the collected per-event
+        # profile stays readable on swarm.sim.profile.
+        if swarm.sim.profile is not None:
+            swarm.sim.profile.close()
     return RunResult(protocol=protocol, config=config, swarm=swarm,
                      n_compliant=n_compliant, n_freeriders=n_free)
 

@@ -18,6 +18,12 @@ from typing import Any, Callable, Optional
 from repro.sim.engine import EventHandle, Simulator
 
 
+def _transfer_seq(transfer: "Transfer") -> int:
+    """Sort key for in-flight views (module-level so the per-event
+    ``in_flight`` copy doesn't also build a closure — SL303)."""
+    return transfer.seq
+
+
 class Transfer:
     """One in-flight piece upload occupying a slot."""
 
@@ -176,7 +182,7 @@ class Uplink:
 
     def in_flight(self) -> list:
         """Currently running transfers (copy, in start order)."""
-        return sorted(self._transfers, key=lambda t: t.seq)
+        return sorted(self._transfers, key=_transfer_seq)
 
     def utilization(self, now: Optional[float] = None) -> float:
         """Fraction of capacity actually used while in the swarm."""

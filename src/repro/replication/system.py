@@ -29,6 +29,12 @@ from repro.sim.engine import Simulator
 from repro.sim.events import PeriodicTask
 
 
+def _node_id(node: StorageNode) -> str:
+    """Sort key for node lists (module-level so per-event candidate
+    sorts don't rebuild a closure each call — SL303)."""
+    return node.node_id
+
+
 @dataclass
 class ReplicationConfig:
     """Tunables of a replication run."""
@@ -130,7 +136,7 @@ class ReplicationSystem:
     def _repair_round(self) -> None:
         rng = self.sim.rng
         for node in sorted(self._alive_nodes(),
-                           key=lambda n: n.node_id):
+                           key=_node_id):
             for obj in node.needs_replicas(
                     self.config.target_replication):
                 host = self._find_host(obj)
@@ -151,7 +157,7 @@ class ReplicationSystem:
         ]
         if not candidates:
             return None
-        candidates.sort(key=lambda n: n.node_id)
+        candidates.sort(key=_node_id)
         return rng.choice(candidates)
 
     # ------------------------------------------------------------------
@@ -209,7 +215,7 @@ class ReplicationSystem:
             return host  # direct reciprocity: host itself
         if not candidates:
             return None
-        candidates.sort(key=lambda n: n.node_id)
+        candidates.sort(key=_node_id)
         return rng.choice(candidates)
 
     def _replica_stored(self, transaction_id: int) -> None:
@@ -325,7 +331,7 @@ class ReplicationSystem:
     def _churn(self) -> None:
         rng = self.sim.rng
         for node in sorted(self._alive_nodes(),
-                           key=lambda n: n.node_id):
+                           key=_node_id):
             if rng.random() >= self.config.churn_kill_probability:
                 continue
             node.alive = False

@@ -26,9 +26,12 @@ seed therefore reproduces the same event trace bit-for-bit.
 from __future__ import annotations
 
 import ast
+import gc
 import heapq
 import json
 import os
+import sys
+import tracemalloc
 from random import Random
 from typing import Any, Callable, Dict, List, Optional, Tuple
 
@@ -37,6 +40,11 @@ from typing import Any, Callable, Dict, List, Optional, Tuple
 COMPACT_MIN_DEAD = 256
 #: ...and they outnumber the live ones (>50 % of the heap is dead).
 COMPACT_DEAD_FRACTION = 0.5
+
+#: Upper bound on the :class:`EventHandle` free-list; beyond this,
+#: consumed handles are left to the garbage collector (the pool exists
+#: to absorb steady-state churn, not peak backlog).
+POOL_MAX = 1024
 
 
 class SimulatorError(RuntimeError):
@@ -98,6 +106,95 @@ def _noop() -> None:
     """Placeholder callback installed when a handle is cancelled."""
 
 
+class AllocProfile:
+    """Per-event-type allocation profile (``Simulator(profile="alloc")``).
+
+    For every fired event the engine records the delta of
+    ``tracemalloc``'s traced bytes and of the interpreter's live
+    allocation-block count across the callback, keyed by the
+    callback's ``__qualname__`` — the runtime ground truth the static
+    simheat audit (SL301–SL304, docs/DEVTOOLS.md) is validated
+    against.  Deltas can be negative (a callback that frees more than
+    it allocates); sums are kept raw.
+
+    The profile starts ``tracemalloc`` if it is not already tracing
+    and remembers whether it owns the tracer; call :meth:`close` when
+    done to stop an owned tracer (profiling roughly doubles event
+    dispatch cost, which is why it is opt-in).
+
+    The cyclic garbage collector is paused for the lifetime of the
+    profile (restored by :meth:`close`): an opportunistic collection
+    inside a measured callback frees an arbitrary batch of *other*
+    events' garbage, turning that one delta hugely negative and making
+    two runs incomparable.  Refcount frees — the overwhelming majority
+    in the simulator — are unaffected.
+    """
+
+    __slots__ = ("by_event", "_owns_tracing", "_owns_gc", "_closed")
+
+    def __init__(self) -> None:
+        #: qualname -> [events fired, traced bytes delta, block delta]
+        self.by_event: Dict[str, List[int]] = {}
+        self._owns_tracing = not tracemalloc.is_tracing()
+        self._owns_gc = gc.isenabled()
+        self._closed = False
+        if self._owns_tracing:
+            tracemalloc.start()
+        gc.disable()
+
+    def record(self, name: str, d_bytes: int, d_blocks: int) -> None:
+        row = self.by_event.get(name)
+        if row is None:
+            row = self.by_event[name] = [0, 0, 0]
+        row[0] += 1
+        row[1] += d_bytes
+        row[2] += d_blocks
+
+    @property
+    def events(self) -> int:
+        return sum(row[0] for row in self.by_event.values())
+
+    @property
+    def traced_bytes(self) -> int:
+        return sum(row[1] for row in self.by_event.values())
+
+    @property
+    def blocks(self) -> int:
+        return sum(row[2] for row in self.by_event.values())
+
+    def bytes_per_event(self) -> float:
+        events = self.events
+        return self.traced_bytes / events if events else 0.0
+
+    def allocs_per_event(self) -> float:
+        events = self.events
+        return self.blocks / events if events else 0.0
+
+    def summary(self) -> Dict[str, object]:
+        """JSON-friendly totals plus the per-event-type breakdown."""
+        return {
+            "events": self.events,
+            "traced_bytes": self.traced_bytes,
+            "blocks": self.blocks,
+            "bytes_per_event": round(self.bytes_per_event(), 3),
+            "allocs_per_event": round(self.allocs_per_event(), 3),
+            "by_event": {name: {"events": row[0], "bytes": row[1],
+                                "blocks": row[2]}
+                         for name, row in sorted(self.by_event.items())},
+        }
+
+    def close(self) -> None:
+        """Stop an owned tracemalloc tracer and restore the cyclic
+        collector if it was enabled before profiling.  Idempotent."""
+        if self._closed:
+            return
+        self._closed = True
+        if self._owns_tracing and tracemalloc.is_tracing():
+            tracemalloc.stop()
+        if self._owns_gc:
+            gc.enable()
+
+
 #: One heap entry.  ``seq`` is unique, so tuple comparison terminates
 #: there and the handle itself is never compared.
 _Entry = Tuple[float, int, EventHandle]
@@ -128,14 +225,33 @@ class Simulator:
         Enable lazy-deletion heap compaction (default on; the
         determinism harness runs with it off to prove traces are
         unaffected — see docs/PERF.md).
+    profile:
+        Pass the string ``"alloc"`` to attach an :class:`AllocProfile`
+        recording per-event-type allocation deltas (tracemalloc bytes
+        + interpreter block counts) on every fired event — the runtime
+        validation side of the simheat SL3xx static audit.  Off by
+        default; profiling forces the instrumented step path.
+    pool_events:
+        Recycle consumed :class:`EventHandle` objects through a
+        bounded free-list (default on).  A handle is only pooled when
+        nothing outside the engine still references it (refcount
+        guard), so handles callers retain for ``cancel()``/state
+        checks are never reused under them.  Pop order is untouched —
+        the alloc-audit harness asserts bit-identical traces with the
+        pool on and off.
     """
 
     def __init__(self, seed: int = 0, sanitize: object = False,
-                 compact: bool = True):
+                 compact: bool = True, profile: object = False,
+                 pool_events: bool = True):
         if isinstance(sanitize, str) and sanitize != "races":
             raise SimulatorError(
                 f"unknown sanitize mode {sanitize!r}; expected a bool "
                 f"or the string 'races'")
+        if profile not in (False, None, "alloc"):
+            raise SimulatorError(
+                f"unknown profile mode {profile!r}; expected False or "
+                f"the string 'alloc'")
         self.now: float = 0.0
         self.rng = Random(seed)
         self.seed = seed
@@ -147,8 +263,12 @@ class Simulator:
         self._compactions = 0
         self._running = False
         self._observers: List[Callable[[EventHandle], None]] = []
+        self._pool: Optional[List[EventHandle]] = \
+            [] if pool_events else None
         self.sanitizer = None
         self.races = None
+        self.profile: Optional[AllocProfile] = \
+            AllocProfile() if profile == "alloc" else None
         if sanitize:
             from repro.devtools.sanitizer import SimulationSanitizer
             self.sanitizer = SimulationSanitizer(self)
@@ -179,7 +299,17 @@ class Simulator:
         time = self.now + delay
         seq = self._seq
         self._seq = seq + 1
-        handle = EventHandle(time, seq, callback, args, self)
+        pool = self._pool
+        if pool:
+            handle = pool.pop()
+            handle.time = time
+            handle.seq = seq
+            handle.callback = callback
+            handle.args = args
+            handle.cancelled = False
+            handle.fired = False
+        else:
+            handle = EventHandle(time, seq, callback, args, self)  # simlint: disable=SL304 -- this IS the pool: miss path when the free-list is empty or disabled
         if self.sanitizer is not None:
             self.sanitizer.on_schedule(handle)
         heapq.heappush(self._heap, (time, seq, handle))
@@ -193,7 +323,17 @@ class Simulator:
                 f"cannot schedule at {time!r}, now is {self.now!r}")
         seq = self._seq
         self._seq = seq + 1
-        handle = EventHandle(time, seq, callback, args, self)
+        pool = self._pool
+        if pool:
+            handle = pool.pop()
+            handle.time = time
+            handle.seq = seq
+            handle.callback = callback
+            handle.args = args
+            handle.cancelled = False
+            handle.fired = False
+        else:
+            handle = EventHandle(time, seq, callback, args, self)
         if self.sanitizer is not None:
             self.sanitizer.on_schedule(handle)
         heapq.heappush(self._heap, (time, seq, handle))
@@ -264,9 +404,27 @@ class Simulator:
             handle.callback = _noop
             handle.args = ()
             handle.fired = True
-            callback(*args)
+            profile = self.profile
+            if profile is not None:
+                name = getattr(callback, "__qualname__", repr(callback))
+                before_bytes = tracemalloc.get_traced_memory()[0]
+                before_blocks = sys.getallocatedblocks()
+                callback(*args)
+                profile.record(
+                    name,
+                    tracemalloc.get_traced_memory()[0] - before_bytes,
+                    sys.getallocatedblocks() - before_blocks)
+            else:
+                callback(*args)
             if races is not None:
                 races.on_event_end()
+            elif self.sanitizer is None and self._pool is not None \
+                    and len(self._pool) < POOL_MAX \
+                    and sys.getrefcount(handle) == 2:
+                # Only the local name + getrefcount's argument see the
+                # handle: nothing can observe the reuse.  (Sanitizer /
+                # race-reporter runs keep identity for post-mortems.)
+                self._pool.append(handle)
             self._events_fired += 1
             return True
         return False
@@ -289,6 +447,8 @@ class Simulator:
         heap = self._heap
         heappop = heapq.heappop
         observers = self._observers
+        pool = self._pool
+        getrefcount = sys.getrefcount
         try:
             while heap:
                 head = heap[0]
@@ -301,7 +461,8 @@ class Simulator:
                     break
                 if max_events is not None and fired >= max_events:
                     break
-                if self.sanitizer is None and not observers:
+                if self.sanitizer is None and not observers \
+                        and self.profile is None:
                     # Fast path: `head` is the verified-live heap top,
                     # so pop and fire inline, skipping instrumentation
                     # dispatch and the step() re-scan.
@@ -315,6 +476,12 @@ class Simulator:
                     callback(*args)
                     fast_fired += 1
                     fired += 1
+                    if pool is not None and len(pool) < POOL_MAX \
+                            and getrefcount(handle) == 3:
+                        # `head`'s tuple slot + the local name +
+                        # getrefcount's argument: no caller kept the
+                        # handle, so reuse is unobservable.
+                        pool.append(handle)
                 elif self.step():
                     fired += 1
         finally:

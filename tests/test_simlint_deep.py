@@ -21,7 +21,7 @@ from repro.cli import main
 from repro.core.transaction import _VALID_TRANSITIONS
 from repro.devtools import SuppressionIndex, lint_source
 from repro.devtools.callgraph import ProjectIndex, module_name_for
-from repro.devtools.deep import run_deep
+from repro.devtools.deep import DEEP_RULES, run_deep
 from repro.devtools.output import (apply_baseline, fingerprint,
                                    github_annotations, load_baseline,
                                    render_json, render_sarif,
@@ -279,12 +279,13 @@ class TestProtocolSpec:
 
 class TestRealTreeClean:
     def test_deep_run_over_src_is_clean_modulo_baseline(self):
-        """Taint/protocol-clean; simrace findings exactly baselined.
+        """Taint/protocol-clean; simrace/simheat exactly baselined.
 
         The SL2xx findings over ``src`` are the *justified* inventory
-        of same-instant order dependence carried (with rationale) in
-        ``simlint-baseline.json``; anything beyond that set is a
-        regression this test catches.
+        of same-instant order dependence, and the SL3xx findings the
+        reviewed hot-path allocation inventory, both carried (with
+        rationale) in ``simlint-baseline.json``; anything beyond that
+        set is a regression this test catches.
         """
         report = run_deep([SRC], cache_path=None)
         with open(os.path.join(REPO, "simlint-baseline.json"),
@@ -297,9 +298,10 @@ class TestRealTreeClean:
                 unexpected.append(f)
         assert unexpected == [], "\n".join(
             f.format() for f in unexpected)
-        # Everything surviving the baseline is simrace inventory; the
-        # taint and protocol passes stay finding-free.
-        assert all(f.rule.startswith("SL2") for f in report.findings)
+        # Everything surviving the baseline is simrace or simheat
+        # inventory; the taint and protocol passes stay finding-free.
+        assert all(f.rule.startswith(("SL2", "SL3"))
+                   for f in report.findings)
         assert report.stats["files"] > 50
 
 
@@ -392,6 +394,29 @@ class TestSuppressionEdgeCases:
         index = SuppressionIndex("snippet.py", src.splitlines())
         assert lint_source(src, "snippet.py", suppressions=index) == []
         assert index.unused_findings() == []
+
+    def test_unused_findings_ignore_skips_deep_rules(self):
+        src = "x = []  # simlint: disable=SL304 -- deep-only\n"
+        index = SuppressionIndex("snippet.py", src.splitlines())
+        lint_source(src, "snippet.py", suppressions=index)
+        assert index.unused_findings(ignore=DEEP_RULES) == []
+        # Without the ignore list (the --deep driver's view, where
+        # every pass ran) the suppression is provably stale.
+        assert [f.rule for f in index.unused_findings()] == ["SL009"]
+
+    def test_plain_cli_ignores_deep_rule_suppressions(self, tmp_path,
+                                                      capsys):
+        """A plain lint never runs the whole-program passes, so it
+        must not flag deep-only suppressions as stale — only --deep
+        may (it does: engine.py's SL304 pool-miss suppression is
+        exercised by the real-tree run)."""
+        (tmp_path / "mod.py").write_text(
+            "x = []  # simlint: disable=SL304 -- hot-path pool miss\n")
+        code = main(["lint", str(tmp_path), "--no-config",
+                     "--strict-suppressions"])
+        out = capsys.readouterr().out
+        assert code == 0
+        assert "SL009" not in out
 
     def test_cli_reports_sl009_as_warning_exit_zero(self, tmp_path,
                                                     capsys):
@@ -548,6 +573,7 @@ class TestDeepCli:
         code = main(["lint", "--list-rules"])
         out = capsys.readouterr().out
         assert code == 0
-        for rule_id in ("SL009", "SL101", "SL102", "SL103", "SL104",
-                        "SL110", "SL111", "SL112"):
+        for rule_id in ("SL009", "SL013", "SL101", "SL102", "SL103",
+                        "SL104", "SL110", "SL111", "SL112", "SL301",
+                        "SL302", "SL303", "SL304"):
             assert rule_id in out

@@ -100,6 +100,9 @@ class RecoveryCounters:
     forgives: int = 0
     #: exchanges written off with no reachable key holder
     orphaned_chains: int = 0
+    #: in-flight pieces that landed after their transaction aborted
+    #: (donor departed while the payload was stalled/in transit)
+    dead_letters: int = 0
 
     def as_dict(self) -> Dict[str, int]:
         """Plain-dict view (persistence, test comparisons)."""

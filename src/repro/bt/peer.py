@@ -271,8 +271,22 @@ class Peer:
         size = (plan.size_kb if plan.size_kb is not None
                 else self.swarm.torrent.piece_size_kb)
         plan.uploader_id = self.id
+        floor_s = 0.0
+        net = self.swarm.net
+        if net is not None and not net._inert:
+            # Delivery cannot beat the path: propagation + bottleneck
+            # serialization floors the slot time.  None means no route
+            # (severed partition) — the piece cannot start; the plan
+            # fails and planning retries after topology changes.  An
+            # inert model is bypassed wholesale (see Swarm.send_control).
+            path_floor = net.transfer_floor(self.id, plan.receiver_id,
+                                            size)
+            if path_floor is None:
+                return False
+            floor_s = path_floor
         transfer = self.uplink.try_start(size, self._upload_finished,
-                                         meta=plan)
+                                         meta=plan,
+                                         min_duration_s=floor_s)
         if transfer is None:
             return False
         self._outgoing[transfer] = plan

@@ -184,6 +184,7 @@ class _TChainNode(Peer):
         # a method call per neighbor.
         self._flow_blocked: Set[str] = set()
         self.flow.on_window_change = self._on_flow_window_change
+        self.flow.on_underflow = self._on_flow_underflow
 
     def _on_flow_window_change(self, neighbor_id: str,
                                blocked: bool) -> None:
@@ -191,6 +192,17 @@ class _TChainNode(Peer):
             self._flow_blocked.add(neighbor_id)
         else:
             self._flow_blocked.discard(neighbor_id)
+
+    def _on_flow_underflow(self, neighbor_id: str) -> None:
+        # A confirm that finds an empty window is benign only when the
+        # neighbor's flow state was dropped by forget() (disconnect
+        # with a report still in flight); otherwise some exchange was
+        # drained twice — escalate when the sanitizer is attached.
+        sanitizer = getattr(self.sim, "sanitizer", None)
+        if sanitizer is not None:
+            sanitizer.on_flow_underflow(
+                self.id, neighbor_id,
+                benign=self.flow.was_forgotten(neighbor_id))
 
     #: Backoff cap: stall × 2^(strikes−1) saturates here, so a chronic
     #: non-reciprocator is throttled to one donation per
@@ -765,7 +777,16 @@ class _TChainNode(Peer):
         if new_payee is None:
             key = ledger.forgive(tx.transaction_id, self.sim.now)
             self.swarm.metrics.recovery.forgives += 1
-            if self.active:
+            if self.active and self.id == tx.donor_id \
+                    and not tx.written_off:
+                # Drain the window only when we are the donor who
+                # counted the upload, and — same guard as on_report —
+                # only if the exchange was not already written off:
+                # either way a second drain would double-decrement and
+                # re-open a blocked neighbor early.  (A payee holding
+                # the key after donor departure forgives on the
+                # donor's behalf but never sent this piece, so its own
+                # window owes nothing.)
                 self.flow.on_reciprocation_confirmed(tx.requestor_id)
             requestor = self.swarm.find_peer(tx.requestor_id)
             if requestor is not None and requestor.active:
@@ -1170,7 +1191,27 @@ class TChainLeecher(BaselineLeecher, _TChainNode):
             raise TypeError(f"unexpected payload {payload!r}")
         self.pump()
 
+    def _dead_letter(self, transaction_id: int, piece: int) -> bool:
+        """True when an in-flight piece lands on an aborted exchange.
+
+        The transfer finished (or was stalled by fault injection)
+        before the donor departed; the departure aborted the
+        still-CREATED transaction, so the late payload is a dead
+        letter — drop it rather than drive the ledger through an
+        illegal ABORTED -> DELIVERED edge, and put the piece back on
+        the want list so it is re-fetched from someone reachable.
+        """
+        tx = self.state.ledger.get(transaction_id)
+        if tx.state is not TransactionState.ABORTED:
+            return False
+        self.book.unexpect(piece)
+        self.swarm.metrics.recovery.dead_letters += 1
+        return True
+
     def _on_encrypted_piece(self, msg: EncryptedPieceMessage) -> None:
+        if self._dead_letter(msg.transaction_id,
+                             msg.sealed.piece_index):
+            return
         ledger = self.state.ledger
         self.pending_sealed[msg.transaction_id] = msg.sealed
         self.piece_log.append((self.sim.now, msg.sealed.piece_index,
@@ -1186,6 +1227,8 @@ class TChainLeecher(BaselineLeecher, _TChainNode):
         self._maybe_collude(msg)
 
     def _on_plain_piece(self, msg: PlainPieceMessage) -> None:
+        if self._dead_letter(msg.transaction_id, msg.piece_index):
+            return
         ledger = self.state.ledger
         prev = ledger.mark_delivered(msg.transaction_id, self.sim.now)
         if prev is not None:

@@ -99,6 +99,16 @@ class Swarm:
         #: installed via ``FaultInjector.attach``, never constructed
         #: here (the swarm stays importable without the faults package)
         self.fault_injector = None
+        #: Optional network substrate (:mod:`repro.net.link`).  Off by
+        #: default — ``extra={"net": spec}`` enables it; the flat model
+        #: then only pays ``self.net is None`` checks, keeping default
+        #: runs bit-identical (tests/test_net_substrate.py).
+        self.net = None
+        net_spec = config.extra.get("net")
+        if net_spec is not None:
+            from repro.net.link import build_network
+            self.net = build_network(net_spec, seed=config.seed)
+            self.net.attach(self)
 
     # ------------------------------------------------------------------
     # Peer management
@@ -124,6 +134,10 @@ class Swarm:
             self.columnar.adopt(peer)
         self.topology.add_peer(peer.id,
                                unlimited=peer.unlimited_neighbors)
+        if self.net is not None:
+            # Place onto the substrate at registration: join order is
+            # deterministic, so round-robin placement is too.
+            self.net.place(peer.id)
         if self.interest is not None:
             self.interest.add_peer(peer)
         if peer.kind != "seeder":
@@ -249,6 +263,9 @@ class Swarm:
         if self.columnar is not None:
             self.columnar.release(old_id)
         new_id = self.new_peer_id("W")
+        if self.net is not None:
+            # A rebrand changes identity, not geography.
+            self.net.rename(old_id, new_id)
         peer.id = new_id
         self.peers[new_id] = peer
         if self.columnar is not None:
@@ -283,6 +300,18 @@ class Swarm:
         """
         delay = latency if latency is not None \
             else self.config.control_latency_s
+        if self.net is not None and not self.net._inert:
+            # The substrate speaks first: route latency + per-link
+            # loss fate, before the fault injector piles its own
+            # drops/delays on top.  None = lost in the network
+            # (per-link loss draw) or unroutable (severed partition).
+            # An inert model (all-zero links, nothing severed) is
+            # bypassed wholesale — no call, no counters — so an idle
+            # substrate stays within noise of the flat model.
+            fate = self.net.control_fate(sender_id, receiver.id)
+            if fate is None:
+                return None
+            delay += fate
         if self.fault_injector is not None:
             fate = self.fault_injector.control_fate(
                 kind, sender_id, receiver.id)

@@ -50,12 +50,13 @@ Examples
 
     python -m repro run --protocol tchain --leechers 60 --pieces 32 \
         --freeriders 0.25 --out results/run1
+    python -m repro run --net multi_dc --net-loss 0.02 --sanitize
     python -m repro compare --leechers 40 --pieces 16 --freeriders 0.25
     python -m repro figure fig7 --scale 0.5 --seeds 1 --workers 4
     python -m repro models
     python -m repro lint src/ --disable SL004
     python -m repro chaos --seeds 0 1 2 3 --workers 4
-    python -m repro bench --quick --out BENCH_PR9.json
+    python -m repro bench --quick --out BENCH_PR10.json
     python -m repro sweep --protocols tchain bittorrent --seeds 20 \
         --sweep-dir results/sweep1 --workers 4 --verify
     python -m repro sweep --resume results/sweep1 --workers 4
@@ -100,6 +101,26 @@ def build_parser() -> argparse.ArgumentParser:
     _swarm_args(run_p)
     run_p.add_argument("--out", metavar="PREFIX",
                        help="write PREFIX.json and PREFIX.csv")
+    run_p.add_argument("--net", default=None,
+                       choices=["star", "mesh", "random", "fat_tree",
+                                "multi_dc"],
+                       help="attach the link-level network substrate "
+                            "with this topology (docs/NETWORK.md)")
+    run_p.add_argument("--net-nodes", type=int, default=4,
+                       help="node count for star/mesh/random")
+    run_p.add_argument("--net-latency-ms", type=float, default=0.0,
+                       help="per-link one-way latency")
+    run_p.add_argument("--net-jitter-ms", type=float, default=0.0,
+                       help="per-link uniform latency jitter bound")
+    run_p.add_argument("--net-loss", type=float, default=0.0,
+                       help="per-link control-message loss "
+                            "probability [0, 1)")
+    run_p.add_argument("--net-bw-kbps", type=float, default=None,
+                       help="per-link bandwidth cap (default: "
+                            "unconstrained)")
+    run_p.add_argument("--sanitize", action="store_true",
+                       help="run under the simulation sanitizer "
+                            "(fair-exchange + flow-window checks)")
 
     cmp_p = sub.add_parser("compare",
                            help="run a scenario across protocols")
@@ -288,13 +309,33 @@ def _options_from(args) -> FreeRiderOptions:
     return FreeRiderOptions()
 
 
+def _net_spec_from(args) -> Optional[dict]:
+    """The ``extra={"net": ...}`` spec for the --net flags, if any."""
+    if getattr(args, "net", None) is None:
+        return None
+    spec = {"topology": args.net}
+    if args.net in ("star", "mesh", "random"):
+        spec["nodes"] = args.net_nodes
+        spec["latency_ms"] = args.net_latency_ms
+    if args.net_jitter_ms:
+        spec["jitter_ms"] = args.net_jitter_ms
+    if args.net_loss:
+        spec["loss"] = args.net_loss
+    if args.net_bw_kbps is not None:
+        spec["bandwidth_kbps"] = args.net_bw_kbps
+    return spec
+
+
 def _run_one(args, protocol: str):
+    net_spec = _net_spec_from(args)
+    extra = {"net": net_spec} if net_spec is not None else {}
     return run_swarm(
         protocol=protocol, leechers=args.leechers, pieces=args.pieces,
         piece_size_kb=args.piece_kb, seed=args.seed,
         freerider_fraction=args.freeriders,
         freerider_options=_options_from(args),
-        arrival=args.arrival, max_time=args.max_time)
+        arrival=args.arrival, max_time=args.max_time,
+        sanitize=getattr(args, "sanitize", False), extra=extra)
 
 
 def cmd_run(args) -> int:
@@ -744,6 +785,16 @@ def cmd_bench(args) -> int:
     rows.append((f"interest index on == off "
                  f"({equiv['events_compared']} events)",
                  equiv["identical"]))
+    net = report["net_substrate"]
+    rows.extend([
+        (f"net substrate idle == flat "
+         f"({net['events_compared']} events)", net["identical"]),
+        ("net substrate idle overhead",
+         f"{net['idle_overhead_ratio']:.2f}x"),
+        ("net substrate WAN run",
+         f"{net['wan']['wall_time_s']:.3f}s "
+         f"({net['wan']['events']} events)"),
+    ])
     lint = report["lint_deep"]
     if "skipped" not in lint:
         rows.extend([

@@ -34,27 +34,53 @@ class FlowController:
             raise ValueError("pending_limit must be >= 1")
         self.pending_limit = pending_limit
         self._pending: Dict[str, int] = {}
+        self._forgotten: set = set()
+        #: Decrements that arrived with an already-empty window.  A
+        #: nonzero count after a run where no neighbor was forgotten
+        #: means some exchange was confirmed/written off twice — the
+        #: window would have re-opened early without the zero floor.
+        self.underflows = 0
         #: Fired as ``(neighbor_id, blocked)`` whenever a neighbor
         #: crosses the window boundary in either direction — i.e. only
         #: when ``eligible(neighbor_id)`` actually flips.  The interest
         #: index machinery mirrors eligibility into a per-donor blocked
         #: set through this hook.
         self.on_window_change: Optional[Callable[[str, bool], None]] = None
+        #: Fired as ``(neighbor_id,)`` when a decrement finds an empty
+        #: window.  The count stays floored at zero and no window event
+        #: fires; the owner decides whether the underflow is benign (a
+        #: confirm straggling in after ``forget``) or an accounting bug
+        #: worth escalating to the sanitizer.
+        self.on_underflow: Optional[Callable[[str], None]] = None
 
     def on_piece_sent(self, neighbor_id: str) -> None:
         """An encrypted piece was uploaded to ``neighbor_id``."""
         count = self._pending.get(neighbor_id, 0) + 1
         self._pending[neighbor_id] = count
+        # count steps by one, so == pending_limit is exactly the
+        # eligible -> blocked flip.
         if count == self.pending_limit and self.on_window_change is not None:
             self.on_window_change(neighbor_id, True)
 
     def on_reciprocation_confirmed(self, neighbor_id: str) -> None:
         """A reciprocation notification for ``neighbor_id`` arrived."""
         count = self._pending.get(neighbor_id, 0)
-        if count <= 1:
+        if count == 0:
+            # Floor at zero: a duplicate confirm/write-off must not
+            # push the window negative (the next on_piece_sent would
+            # then under-count the true backlog and re-open a blocked
+            # neighbor early).
+            self.underflows += 1
+            if self.on_underflow is not None:
+                self.on_underflow(neighbor_id)
+            return
+        if count == 1:
             self._pending.pop(neighbor_id, None)
         else:
             self._pending[neighbor_id] = count - 1
+        # Fire only on the blocked -> eligible flip, i.e. when the
+        # count drops off the limit.  Counts above the limit (possible
+        # when the limit was lowered mid-run) stay blocked silently.
         if count == self.pending_limit and self.on_window_change is not None:
             self.on_window_change(neighbor_id, False)
 
@@ -71,11 +97,21 @@ class FlowController:
         self.on_reciprocation_confirmed(neighbor_id)
 
     def forget(self, neighbor_id: str) -> None:
-        """Drop state for a departed neighbor."""
+        """Drop state for a departed neighbor.
+
+        The id is remembered in :attr:`was_forgotten` so a straggling
+        confirm (a report in flight when the neighbor disconnected)
+        can be told apart from a genuine double-drain underflow.
+        """
         count = self._pending.pop(neighbor_id, None)
+        self._forgotten.add(neighbor_id)
         if (count is not None and count >= self.pending_limit
                 and self.on_window_change is not None):
             self.on_window_change(neighbor_id, False)
+
+    def was_forgotten(self, neighbor_id: str) -> bool:
+        """True if ``forget`` was ever called for this neighbor."""
+        return neighbor_id in self._forgotten
 
     def pending(self, neighbor_id: str) -> int:
         """Current pending count for a neighbor."""

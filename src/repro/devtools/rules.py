@@ -32,6 +32,10 @@ SL012     per-peer Python-object iteration (``... in peers.values()``
 SL013     stale baseline entry: a ``--baseline`` fingerprint whose
           finding no longer fires (warning; prune with
           ``--prune-baseline``)
+SL014     ad-hoc cross-peer message delivery inside ``bt/``: another
+          object's method scheduled directly instead of going through
+          ``Swarm.send_control`` / the uplink (bypasses latency,
+          fault injection and the network substrate)
 SL101     deep: wall-clock value reaches a schedule/rng/metrics sink
           through any number of call hops
 SL102     deep: global-``random`` value reaches a deterministic sink
@@ -925,6 +929,73 @@ class PerPeerObjectScanRule(Rule):
                         f"bt/; walk the columnar swarm state "
                         f"(repro.bt.columnar) instead of live Peer "
                         f"objects")
+
+
+# ----------------------------------------------------------------------
+# SL014 — ad-hoc cross-peer delivery bypassing send_control / uplink
+# ----------------------------------------------------------------------
+@register
+class AdHocDeliveryRule(Rule):
+    """SL014: protocol messages must travel through the choke points.
+
+    ``Swarm.send_control`` is where control-plane latency, fault
+    injection (loss/delay) and the network substrate (routing, per-link
+    loss/jitter, partitions) are applied; piece payloads go through the
+    uplink transfer path for the same reason.  Scheduling *another
+    object's* method directly (``sim.schedule(d, receiver.on_foo,
+    ...)``) inside ``bt/`` smuggles a message past all of them: it
+    arrives even across a partition, never drops, and pays no latency.
+    Schedule only your own callbacks (``self.…``, including attributes
+    reached through ``self``) or module-level timer functions; hand
+    anything destined for another peer to ``send_control`` or the
+    uplink.  ``bt/swarm.py`` is exempt — ``send_control`` itself is
+    the choke point that schedules the receiver's handler.
+    """
+
+    id = "SL014"
+    name = "ad-hoc-delivery"
+    description = ("another object's method scheduled directly in "
+                   "bt/; route messages through Swarm.send_control "
+                   "or the uplink transfer path")
+
+    @staticmethod
+    def _in_scope(path: str) -> bool:
+        parts = path.replace("\\", "/").split("/")
+        return "bt" in parts[:-1] and parts[-1] != "swarm.py"
+
+    @staticmethod
+    def _attribute_root(node: ast.AST) -> Optional[ast.AST]:
+        while isinstance(node, ast.Attribute):
+            node = node.value
+        return node
+
+    def check(self, ctx: FileContext) -> Iterator[Finding]:
+        if not self._in_scope(ctx.path):
+            return
+        for node in ast.walk(ctx.tree):
+            if not isinstance(node, ast.Call) \
+                    or not isinstance(node.func, ast.Attribute) \
+                    or node.func.attr not in SCHEDULE_METHODS:
+                continue
+            cb_index = 0 if node.func.attr == "call_now" else 1
+            if len(node.args) <= cb_index \
+                    or any(isinstance(a, ast.Starred)
+                           for a in node.args[:cb_index + 1]):
+                continue
+            cb = node.args[cb_index]
+            if not isinstance(cb, ast.Attribute):
+                # Bare names (module-level timers) and lambdas are
+                # local control flow, not cross-peer delivery.
+                continue
+            root = self._attribute_root(cb)
+            if isinstance(root, ast.Name) and root.id == "self":
+                continue
+            spelling = dotted_name(cb) or "<expr>." + cb.attr
+            yield ctx.finding(
+                self, node,
+                f"`{spelling}` scheduled directly in bt/; deliver "
+                f"cross-peer messages through Swarm.send_control or "
+                f"the uplink transfer path")
 
 
 # ----------------------------------------------------------------------

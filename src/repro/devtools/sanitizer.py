@@ -173,6 +173,31 @@ class SimulationSanitizer:
                 f"allows only {budget_kb:g} KB")
 
     # ------------------------------------------------------------------
+    # Flow-control hooks (repro.core.flow_control via the protocol)
+    # ------------------------------------------------------------------
+    def on_flow_underflow(self, donor_id: str, neighbor_id: str,
+                          benign: bool = False) -> None:
+        """A flow window was drained past empty.
+
+        ``benign`` means the owner can account for it (the neighbor's
+        state was dropped by ``forget`` after a disconnect, so a
+        straggling reciprocation confirm legitimately finds an empty
+        window).  A non-benign underflow is a double confirm/write-off
+        for the same exchange — exactly the accounting bug that would
+        re-open a blocked neighbor early if the count went negative.
+        """
+        self.checks_run += 1
+        if benign:
+            self._note(f"flow underflow {donor_id}->{neighbor_id} "
+                       f"(benign: neighbor state was forgotten)")
+            return
+        self._fail(
+            f"flow-control window underflow: donor {donor_id} drained "
+            f"an empty window for neighbor {neighbor_id} that was "
+            f"never forgotten (duplicate reciprocation confirm or "
+            f"write-off for one exchange)")
+
+    # ------------------------------------------------------------------
     # Exchange hooks (repro.core.exchange)
     # ------------------------------------------------------------------
     def on_transaction_created(self, tx: Any) -> None:

@@ -50,10 +50,11 @@ baseline ratio, not across machines.
 
 from __future__ import annotations
 
+import gc
 import json
 import os
 import time
-from typing import Dict, List, Optional
+from typing import Dict, List, Optional, Tuple
 
 from repro.experiments.parallel import (
     RunSpec,
@@ -65,7 +66,7 @@ from repro.sim.engine import Simulator
 
 #: Default report filename.  ``repro bench --out`` and the CLI help
 #: text must agree with this constant (pinned by a CLI test).
-DEFAULT_REPORT_PATH = "BENCH_PR9.json"
+DEFAULT_REPORT_PATH = "BENCH_PR10.json"
 
 #: Pre-PR throughput on the development machine (best of 5) for the two
 #: pinned workloads below, measured at commit 89ddfb9 before the engine
@@ -534,6 +535,89 @@ def bench_index_equivalence() -> Dict[str, object]:
     }
 
 
+#: Scenario for the substrate leg: big enough that the per-event
+#: ``net is None`` checks and route/fate lookups show up in the wall
+#: time, small enough to keep the bench fast.
+NET_SUBSTRATE_SPEC = dict(protocol="tchain", seed=7, leechers=48,
+                          pieces=24)
+
+#: The substrate leg's WAN scenario (same shape as docs/NETWORK.md).
+NET_WAN_SPEC = {"topology": "multi_dc", "loss": 0.02,
+                "jitter_ms": 10.0}
+
+
+def bench_net_substrate(repeat: int = 7) -> Dict[str, object]:
+    """Network-substrate leg: idle-substrate neutrality + WAN cost.
+
+    Three runs of the same T-Chain scenario: the flat model, an
+    attached-but-idle substrate (all-zero star — must be bit-identical
+    to flat, asserted on the full event trace), and a lossy multi-DC
+    WAN.  Reports the idle-substrate overhead ratio (the price every
+    flat-model run pays for the ``net is None`` checks plus the price
+    of an inert model; the acceptance bar is <= 5%) and the WAN
+    slowdown (real routing, loss draws and latency floors).
+    """
+    from repro.experiments import run_swarm
+
+    def traced(extra: Dict[str, object]) -> Tuple[List[tuple], float]:
+        trace: List[tuple] = []
+
+        def setup(swarm):
+            swarm.sim.add_observer(
+                lambda handle: trace.append(
+                    (handle.time, handle.seq,
+                     getattr(handle.callback, "__qualname__",
+                             repr(handle.callback)))))
+
+        # The walls are short (~0.2 s), so a cyclic-GC pass landing in
+        # one variant but not the other would swamp the few-percent
+        # signal the overhead ratio gates.  Collect up front, pause GC
+        # for the timed region (same hygiene as AllocProfile), resume
+        # after.
+        gc.collect()
+        gc_was_enabled = gc.isenabled()
+        gc.disable()
+        try:
+            start = time.perf_counter()  # simlint: disable=SL002 -- benchmark measures real wall-time by design
+            run_swarm(setup=setup, extra=extra, **NET_SUBSTRATE_SPEC)
+            wall = time.perf_counter() - start  # simlint: disable=SL002 -- see above
+        finally:
+            if gc_was_enabled:
+                gc.enable()
+        return trace, wall
+
+    idle_spec = {"topology": "star", "nodes": 4}
+    flat_wall = idle_wall = wan_wall = None
+    flat_trace = idle_trace = wan_trace = None
+    for _ in range(max(1, repeat)):
+        trace, wall = traced({})
+        if flat_wall is None or wall < flat_wall:
+            flat_trace, flat_wall = trace, wall
+        trace, wall = traced({"net": dict(idle_spec)})
+        if idle_wall is None or wall < idle_wall:
+            idle_trace, idle_wall = trace, wall
+        trace, wall = traced({"net": dict(NET_WAN_SPEC)})
+        if wan_wall is None or wall < wan_wall:
+            wan_trace, wan_wall = trace, wall
+    if flat_trace != idle_trace:  # pragma: no cover - substrate bug
+        raise AssertionError(
+            "idle-substrate run diverged from the flat model — "
+            "trace neutrality broken")
+    return {
+        "scenario": dict(NET_SUBSTRATE_SPEC),
+        "events_compared": len(flat_trace),
+        "identical": True,
+        "flat_wall_s": round(flat_wall, 4),
+        "idle_substrate_wall_s": round(idle_wall, 4),
+        "idle_overhead_ratio": round(idle_wall / flat_wall, 4),
+        "wan": {
+            "spec": dict(NET_WAN_SPEC),
+            "wall_time_s": round(wan_wall, 4),
+            "events": len(wan_trace),
+        },
+    }
+
+
 def bench_lint_deep(paths: tuple = ("src",)) -> Dict[str, object]:
     """Cold-vs-cached smoke of ``repro lint --deep``.
 
@@ -702,6 +786,10 @@ def run_bench(quick: bool = False, repeat: int = 3,
         "tchain_crowd": bench_tchain_crowd(quick=quick),
         "alloc_audit": bench_alloc_audit(quick=quick),
         "index_equivalence": bench_index_equivalence(),
+        # The substrate walls are short, so this leg takes more
+        # best-of repeats than the heavyweight legs to keep the
+        # overhead ratio out of scheduler-noise territory.
+        "net_substrate": bench_net_substrate(repeat=max(repeat, 7)),
         "lint_deep": bench_lint_deep(),
         "simrace": bench_simrace(),
     }

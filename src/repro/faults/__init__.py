@@ -23,7 +23,8 @@ orphan handling.
 
 from repro.faults.harness import ChaosResult, crash_schedule, run_chaos
 from repro.faults.injector import FAULT_STREAM_LABEL, FaultInjector
-from repro.faults.plan import FaultPlan, FaultPlanError, PeerCrash
+from repro.faults.plan import (FaultPlan, FaultPlanError,
+                               NetworkPartition, PeerCrash)
 from repro.faults.workerkill import WORKERKILL_STREAM_LABEL, WorkerKill
 
 __all__ = [
@@ -33,6 +34,7 @@ __all__ = [
     "FaultInjector",
     "FaultPlan",
     "FaultPlanError",
+    "NetworkPartition",
     "PeerCrash",
     "WorkerKill",
     "crash_schedule",

@@ -23,7 +23,7 @@ from __future__ import annotations
 
 from typing import List, Optional, TYPE_CHECKING
 
-from repro.faults.plan import FaultPlan, PeerCrash
+from repro.faults.plan import FaultPlan, FaultPlanError, PeerCrash
 from repro.sim.randomness import substream
 
 if TYPE_CHECKING:  # pragma: no cover
@@ -54,6 +54,8 @@ class FaultInjector:
         #: ids of peers this injector crashed, in crash order
         self.crashed_ids: List[str] = []
         self.crashes_skipped = 0
+        #: severed-link sets per applied partition, keyed by plan index
+        self._severed_by_partition: dict = {}
 
     # ------------------------------------------------------------------
     # Attachment
@@ -62,11 +64,33 @@ class FaultInjector:
         """Install on ``swarm`` and schedule the crash plan."""
         if swarm.fault_injector is not None:
             raise RuntimeError("swarm already has a fault injector")
+        if self.plan.partitions and getattr(swarm, "net", None) is None:
+            raise FaultPlanError(
+                "partition plans need the network substrate — run "
+                "with extra={'net': ...}")
         self.swarm = swarm
         swarm.fault_injector = self
         for crash in self.plan.crashes:
             swarm.sim.schedule_at(crash.at_s, self._execute_crash, crash)
+        for index, partition in enumerate(self.plan.partitions):
+            swarm.sim.schedule_at(partition.at_s,
+                                  self._apply_partition, index,
+                                  partition)
+            if partition.heal_s is not None:
+                swarm.sim.schedule_at(partition.heal_s,
+                                      self._heal_partition, index)
         return self
+
+    # ------------------------------------------------------------------
+    # Network partitions
+    # ------------------------------------------------------------------
+    def _apply_partition(self, index: int, partition) -> None:
+        cut = self.swarm.net.sever(partition.groups)
+        self._severed_by_partition[index] = cut
+
+    def _heal_partition(self, index: int) -> None:
+        cut = self._severed_by_partition.pop(index, ())
+        self.swarm.net.restore(cut)
 
     @property
     def _counters(self):

@@ -52,6 +52,41 @@ class PeerCrash:
                                  f"{self.at_s!r}")
 
 
+@dataclass(frozen=True)
+class NetworkPartition:
+    """One scheduled network partition (requires the substrate,
+    ``extra={"net": ...}``; attaching a partition plan to a flat-model
+    swarm is a configuration error the injector rejects).
+
+    At ``at_s`` every substrate link whose endpoints fall in different
+    ``groups`` is severed — nodes not named in any group form an
+    implicit final group, so ``groups=(("dc2",),)`` isolates ``dc2``
+    from the rest of the world.  Control messages between the sides
+    drop as unroutable and piece transfers cannot start, exercising
+    retransmit/plead/orphan recovery at partition scale rather than
+    per-peer.  At ``heal_s`` (if given) the severed links come back
+    and routing re-converges.
+    """
+
+    at_s: float
+    groups: Tuple[Tuple[str, ...], ...]
+    heal_s: Optional[float] = None
+
+    def __post_init__(self):
+        if self.at_s < 0:
+            raise FaultPlanError(
+                f"partition scheduled at negative time {self.at_s!r}")
+        if self.heal_s is not None and self.heal_s <= self.at_s:
+            raise FaultPlanError(
+                f"partition heal at {self.heal_s!r} must follow the "
+                f"cut at {self.at_s!r}")
+        groups = tuple(tuple(group) for group in self.groups)
+        if not groups or not any(groups):
+            raise FaultPlanError("partition needs at least one "
+                                 "non-empty node group")
+        object.__setattr__(self, "groups", groups)
+
+
 def _check_prob(name: str, value: float) -> None:
     if not 0.0 <= value <= 1.0:
         raise FaultPlanError(f"{name} must be in [0, 1], got {value!r}")
@@ -74,6 +109,9 @@ class FaultPlan:
         and the maximum stall.
     crashes:
         Scheduled unclean departures (:class:`PeerCrash`).
+    partitions:
+        Scheduled substrate partitions (:class:`NetworkPartition`);
+        only valid on swarms running with a network substrate.
     """
 
     control_loss_prob: float = 0.0
@@ -82,6 +120,8 @@ class FaultPlan:
     upload_stall_prob: float = 0.0
     upload_stall_s: float = 5.0
     crashes: Tuple[PeerCrash, ...] = field(default_factory=tuple)
+    partitions: Tuple[NetworkPartition, ...] = field(
+        default_factory=tuple)
 
     def __post_init__(self):
         _check_prob("control_loss_prob", self.control_loss_prob)
@@ -98,6 +138,7 @@ class FaultPlan:
         # Tuple-ify so callers may pass lists without breaking
         # hashability of the frozen dataclass.
         object.__setattr__(self, "crashes", tuple(self.crashes))
+        object.__setattr__(self, "partitions", tuple(self.partitions))
 
     @property
     def idle(self) -> bool:
@@ -105,4 +146,5 @@ class FaultPlan:
         return (self.control_loss_prob == 0.0
                 and self.control_delay_prob == 0.0
                 and self.upload_stall_prob == 0.0
-                and not self.crashes)
+                and not self.crashes
+                and not self.partitions)

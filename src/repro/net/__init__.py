@@ -1,11 +1,52 @@
-"""Network substrate: uplink bandwidth and neighbor topology.
+"""Network substrate: uplink bandwidth, neighbor topology, and the
+optional link-level model.
 
 Following the paper's evaluation assumptions (Sec. IV-A), upload
-bandwidth is the only constrained resource; download bandwidth is
-unlimited and link latency matters only for small control messages.
+bandwidth is the only constrained resource by default; download
+bandwidth is unlimited and link latency matters only for small control
+messages.  The optional substrate (:mod:`repro.net.link`,
+:mod:`repro.net.topogen`, :mod:`repro.net.routing`; enabled via
+``extra={"net": spec}``) layers per-edge latency/jitter/loss, FIFO
+queueing and shortest-path routing on top — see docs/NETWORK.md.
 """
 
 from repro.net.bandwidth import Transfer, Uplink
+from repro.net.link import (
+    Link,
+    LinkSpec,
+    NET_STREAM_LABEL,
+    NetGraph,
+    NetworkModel,
+    build_network,
+)
+from repro.net.routing import RouteTable
+from repro.net.topogen import (
+    DEFAULT_DC_MATRIX_MS,
+    fat_tree,
+    full_mesh,
+    graph_from_spec,
+    multi_dc,
+    random_graph,
+    star,
+)
 from repro.net.topology import Topology
 
-__all__ = ["Topology", "Transfer", "Uplink"]
+__all__ = [
+    "DEFAULT_DC_MATRIX_MS",
+    "Link",
+    "LinkSpec",
+    "NET_STREAM_LABEL",
+    "NetGraph",
+    "NetworkModel",
+    "RouteTable",
+    "Topology",
+    "Transfer",
+    "Uplink",
+    "build_network",
+    "fat_tree",
+    "full_mesh",
+    "graph_from_spec",
+    "multi_dc",
+    "random_graph",
+    "star",
+]

@@ -32,7 +32,8 @@ class Transfer:
                  "seq", "_idx")
 
     def __init__(self, uplink: "Uplink", size_kb: float, rate_kbps: float,
-                 on_complete: Callable[["Transfer"], Any], meta: Any):
+                 on_complete: Callable[["Transfer"], Any], meta: Any,
+                 min_duration_s: float = 0.0):
         self.uplink = uplink
         self.size_kb = size_kb
         self.rate_kbps = rate_kbps
@@ -44,6 +45,12 @@ class Transfer:
         self.seq = -1  # start order, assigned by the uplink
         self._idx = -1  # position in the uplink's swap-pop list
         duration = (size_kb * 8.0) / rate_kbps
+        if min_duration_s > duration:
+            # Network-substrate floor: the path (latency + bottleneck
+            # serialization) is slower than the slot, so the slot is
+            # held for the full path time at the implied lower rate.
+            duration = min_duration_s
+            self.rate_kbps = (size_kb * 8.0) / duration
         self._event: Optional[EventHandle] = uplink.sim.schedule(
             duration, self._finish)
 
@@ -123,10 +130,14 @@ class Uplink:
 
     def try_start(self, size_kb: float,
                   on_complete: Callable[[Transfer], Any],
-                  meta: Any = None) -> Optional[Transfer]:
+                  meta: Any = None,
+                  min_duration_s: float = 0.0) -> Optional[Transfer]:
         """Start a transfer if a slot is free; ``None`` otherwise.
 
         A zero-capacity uplink never transfers (strict free-rider).
+        ``min_duration_s`` floors the delivery time (the network
+        substrate's path latency + bottleneck serialization): the
+        piece lands at ``max(slot time, min_duration_s)``.
         """
         if self.closed_at is not None:
             return None
@@ -134,7 +145,8 @@ class Uplink:
             return None
         self.busy_slots += 1
         transfer = Transfer(self, size_kb, self.slot_rate_kbps,
-                            on_complete, meta)
+                            on_complete, meta,
+                            min_duration_s=min_duration_s)
         transfer.seq = self._next_seq
         self._next_seq += 1
         transfer._idx = len(self._transfers)
@@ -185,9 +197,19 @@ class Uplink:
         return sorted(self._transfers, key=_transfer_seq)
 
     def utilization(self, now: Optional[float] = None) -> float:
-        """Fraction of capacity actually used while in the swarm."""
-        end = self.closed_at if self.closed_at is not None else (
-            self.sim.now if now is None else now)
+        """Fraction of capacity actually used while in the swarm.
+
+        An explicit ``now`` samples the window ``[opened_at, now]``
+        even after the uplink closed (retroactive metric sampling of a
+        departed peer); the window never extends past ``closed_at``.
+        """
+        if now is None:
+            end = self.closed_at if self.closed_at is not None \
+                else self.sim.now
+        elif self.closed_at is not None:
+            end = min(self.closed_at, now)
+        else:
+            end = now
         elapsed = end - self.opened_at
         if elapsed <= 0 or self.capacity_kbps <= 0:
             return 0.0

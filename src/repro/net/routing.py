@@ -1,0 +1,108 @@
+"""Shortest-path routing over the network substrate.
+
+Routes minimize ``(total latency, hop count, path ids)`` — the
+lexicographic tie-breaks make route selection fully deterministic even
+on graphs full of zero-latency equal-cost paths (a mesh of identical
+links), independent of dict order or hashing.
+
+One Dijkstra pass per *source* is cached as a predecessor tree; the
+cache is invalidated wholesale on any edge change (partition sever /
+heal).  Swarm workloads route between a small set of DC/switch nodes
+thousands of times between rare topology changes, so per-source
+caching turns routing into a dict lookup on the hot path.
+"""
+
+from __future__ import annotations
+
+import heapq
+from typing import Dict, List, Mapping, Optional, Tuple
+
+
+class RouteTable:
+    """Latency-weighted shortest paths with per-source caching.
+
+    Parameters
+    ----------
+    adjacency:
+        A live ``node -> {neighbor: Link}`` mapping.  The table reads
+        it lazily; callers mutate it freely and call
+        :meth:`invalidate` afterwards.
+    """
+
+    def __init__(self, adjacency: Mapping[str, Mapping[str, "object"]]):
+        self._adj = adjacency
+        #: source -> (dist, predecessor) maps from the last build.
+        self._trees: Dict[str, Dict[str, Tuple[float, Optional[str]]]] = {}
+        self.builds = 0
+        self.hits = 0
+        self.invalidations = 0
+
+    def invalidate(self) -> None:
+        """Drop every cached tree (call after any edge change)."""
+        if self._trees:
+            self._trees = {}
+        self.invalidations += 1
+
+    def _tree(self, src: str
+              ) -> Dict[str, Tuple[float, Optional[str]]]:
+        tree = self._trees.get(src)
+        if tree is not None:
+            self.hits += 1
+            return tree
+        self.builds += 1
+        # Dijkstra with (latency, hops, node) keys; neighbors are
+        # visited in sorted order so the predecessor tree is unique.
+        dist: Dict[str, Tuple[float, int]] = {src: (0.0, 0)}
+        pred: Dict[str, Optional[str]] = {src: None}
+        done = set()
+        frontier: List[Tuple[float, int, str]] = [(0.0, 0, src)]
+        while frontier:
+            cost, hops, node = heapq.heappop(frontier)
+            if node in done:
+                continue
+            done.add(node)
+            neighbors = self._adj.get(node)
+            if not neighbors:
+                continue
+            for other in sorted(neighbors):
+                if other in done:
+                    continue
+                link = neighbors[other]
+                cand = (cost + link.latency_s, hops + 1)
+                best = dist.get(other)
+                if best is None or cand < best:
+                    dist[other] = cand
+                    pred[other] = node
+                    heapq.heappush(frontier,
+                                   (cand[0], cand[1], other))
+        tree = {node: (dist[node][0], pred[node]) for node in dist}
+        self._trees[src] = tree
+        return tree
+
+    def path(self, src: str, dst: str) -> Optional[List[str]]:
+        """Node sequence ``[src, ..., dst]``, or ``None`` when ``dst``
+        is unreachable (severed partition, unknown node)."""
+        if src == dst:
+            return [src]
+        tree = self._tree(src)
+        if dst not in tree:
+            return None
+        hops = [dst]
+        node: Optional[str] = dst
+        while node != src:
+            node = tree[node][1]
+            if node is None:  # pragma: no cover - defensive
+                return None
+            hops.append(node)
+        hops.reverse()
+        return hops
+
+    def distance(self, src: str, dst: str) -> Optional[float]:
+        """Total path latency, or ``None`` when unreachable."""
+        tree = self._tree(src)
+        entry = tree.get(dst)
+        return entry[0] if entry is not None else None
+
+    def reachable(self, src: str, dst: str) -> bool:
+        """True when a route exists."""
+        return dst in self._tree(src)

@@ -1,0 +1,223 @@
+"""Generated network topologies for the substrate.
+
+Each generator returns a :class:`~repro.net.link.NetGraph` — nodes,
+:class:`~repro.net.link.LinkSpec` edges, and the attach set peers may
+be placed on.  All generators are pure functions of their arguments:
+the only seeded one (:func:`random_graph`) derives its randomness from
+``substream(seed, "topogen")`` so graph shape never perturbs protocol
+streams.
+
+The ladder mirrors the classic simulator progression (star → mesh →
+random → fat-tree → WAN latency matrix); :func:`graph_from_spec`
+builds any of them from a JSON-able dict so sweep manifests and the
+CLI can carry topologies as plain data.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from repro.net.link import LinkSpec, NetGraph
+from repro.sim.randomness import substream
+
+TOPOGEN_STREAM_LABEL = "topogen"
+
+
+def _link(a: str, b: str, latency_s: float, bandwidth_kbps,
+          jitter_s: float, loss_prob: float) -> LinkSpec:
+    return LinkSpec(a=a, b=b, latency_s=latency_s,
+                    bandwidth_kbps=bandwidth_kbps, jitter_s=jitter_s,
+                    loss_prob=loss_prob)
+
+
+def star(n_leaves: int, hub: str = "core", latency_s: float = 0.0,
+         bandwidth_kbps: Optional[float] = None, jitter_s: float = 0.0,
+         loss_prob: float = 0.0) -> NetGraph:
+    """``n_leaves`` access nodes hanging off one hub; peers attach to
+    the leaves.  The minimal topology with a real shared hop."""
+    if n_leaves < 1:
+        raise ValueError("star needs at least one leaf")
+    leaves = tuple(f"leaf{i}" for i in range(n_leaves))
+    links = tuple(_link(leaf, hub, latency_s, bandwidth_kbps,
+                        jitter_s, loss_prob) for leaf in leaves)
+    return NetGraph(nodes=leaves + (hub,), links=links, attach=leaves)
+
+
+def full_mesh(n_nodes: int, latency_s: float = 0.0,
+              bandwidth_kbps: Optional[float] = None,
+              jitter_s: float = 0.0,
+              loss_prob: float = 0.0) -> NetGraph:
+    """Every pair of nodes directly linked (uniform cost)."""
+    if n_nodes < 2:
+        raise ValueError("mesh needs at least two nodes")
+    nodes = tuple(f"n{i}" for i in range(n_nodes))
+    links = tuple(_link(nodes[i], nodes[j], latency_s, bandwidth_kbps,
+                        jitter_s, loss_prob)
+                  for i in range(n_nodes)
+                  for j in range(i + 1, n_nodes))
+    return NetGraph(nodes=nodes, links=links)
+
+
+def random_graph(n_nodes: int, extra_edge_prob: float = 0.2,
+                 seed: int = 0, latency_s: float = 0.0,
+                 bandwidth_kbps: Optional[float] = None,
+                 jitter_s: float = 0.0,
+                 loss_prob: float = 0.0) -> NetGraph:
+    """Connected random graph: a random spanning tree (guaranteeing
+    connectivity) plus each remaining pair with ``extra_edge_prob``."""
+    if n_nodes < 2:
+        raise ValueError("random graph needs at least two nodes")
+    if not 0.0 <= extra_edge_prob <= 1.0:
+        raise ValueError("extra_edge_prob must be in [0, 1]")
+    rng = substream(seed, TOPOGEN_STREAM_LABEL)
+    nodes = tuple(f"n{i}" for i in range(n_nodes))
+    edges: List[Tuple[str, str]] = []
+    present = set()
+    # Random spanning tree: each node links to a random earlier one.
+    for i in range(1, n_nodes):
+        j = rng.randrange(i)
+        edges.append((nodes[j], nodes[i]))
+        present.add((j, i))
+    for i in range(n_nodes):
+        for j in range(i + 1, n_nodes):
+            if (i, j) in present:
+                continue
+            if rng.random() < extra_edge_prob:
+                edges.append((nodes[i], nodes[j]))
+                present.add((i, j))
+    links = tuple(_link(a, b, latency_s, bandwidth_kbps, jitter_s,
+                        loss_prob) for a, b in edges)
+    return NetGraph(nodes=nodes, links=links)
+
+
+def fat_tree(k: int = 4, edge_latency_s: float = 0.0005,
+             agg_latency_s: float = 0.001,
+             core_latency_s: float = 0.002,
+             bandwidth_kbps: Optional[float] = None,
+             jitter_s: float = 0.0,
+             loss_prob: float = 0.0) -> NetGraph:
+    """A k-ary fat-tree (k even): ``(k/2)²`` cores, ``k`` pods of
+    ``k/2`` aggregation + ``k/2`` edge switches; peers attach at the
+    edge layer.  Latencies default to a datacenter-ish hierarchy."""
+    if k < 2 or k % 2:
+        raise ValueError("fat-tree arity k must be even and >= 2")
+    half = k // 2
+    cores = tuple(f"core{i}" for i in range(half * half))
+    nodes: List[str] = list(cores)
+    links: List[LinkSpec] = []
+    edges_all: List[str] = []
+    for pod in range(k):
+        aggs = [f"p{pod}a{i}" for i in range(half)]
+        edges = [f"p{pod}e{i}" for i in range(half)]
+        nodes.extend(aggs)
+        nodes.extend(edges)
+        edges_all.extend(edges)
+        for agg in aggs:
+            for edge in edges:
+                links.append(_link(edge, agg, edge_latency_s,
+                                   bandwidth_kbps, jitter_s,
+                                   loss_prob))
+        # Aggregation switch i uplinks to core group i.
+        for i, agg in enumerate(aggs):
+            for j in range(half):
+                core = cores[i * half + j]
+                links.append(_link(agg, core,
+                                   agg_latency_s + core_latency_s,
+                                   bandwidth_kbps, jitter_s,
+                                   loss_prob))
+    return NetGraph(nodes=tuple(nodes), links=tuple(links),
+                    attach=tuple(edges_all))
+
+
+def multi_dc(latency_ms: Sequence[Sequence[float]],
+             names: Optional[Sequence[str]] = None,
+             bandwidth_kbps: Optional[float] = None,
+             jitter_ms: float = 0.0,
+             loss_prob: float = 0.0) -> NetGraph:
+    """WAN of datacenters from a symmetric latency matrix (ms).
+
+    ``latency_ms[i][j]`` is the one-way latency between DC ``i`` and
+    ``j``; the diagonal is ignored.  Peers attach to the DCs
+    round-robin, modelling a swarm spread across regions."""
+    n = len(latency_ms)
+    if n < 2:
+        raise ValueError("multi_dc needs at least two datacenters")
+    for row in latency_ms:
+        if len(row) != n:
+            raise ValueError("latency matrix must be square")
+    if names is None:
+        names = tuple(f"dc{i}" for i in range(n))
+    elif len(names) != n:
+        raise ValueError("names must match the matrix size")
+    links = []
+    for i in range(n):
+        for j in range(i + 1, n):
+            if latency_ms[i][j] != latency_ms[j][i]:
+                raise ValueError(
+                    f"latency matrix asymmetric at ({i}, {j})")
+            links.append(_link(names[i], names[j],
+                               latency_ms[i][j] / 1000.0,
+                               bandwidth_kbps, jitter_ms / 1000.0,
+                               loss_prob))
+    return NetGraph(nodes=tuple(names), links=tuple(links))
+
+
+#: Canonical 3-region WAN used by examples, tests and the net-smoke CI
+#: job: a US/EU/APAC triangle with realistic one-way latencies.
+DEFAULT_DC_MATRIX_MS = (
+    (0.0, 40.0, 120.0),
+    (40.0, 0.0, 90.0),
+    (120.0, 90.0, 0.0),
+)
+
+GENERATORS = ("star", "mesh", "random", "fat_tree", "multi_dc")
+
+
+def graph_from_spec(spec: Dict
+                    ) -> Tuple[NetGraph, Optional[Dict[str, str]], float]:
+    """Build ``(graph, placement, control_size_kb)`` from a JSON-able
+    dict — the ``extra={"net": {...}}`` / CLI / sweep-manifest format.
+
+    Keys: ``topology`` (one of :data:`GENERATORS`), ``nodes`` (count,
+    where applicable), ``latency_ms``, ``jitter_ms``, ``loss``,
+    ``bandwidth_kbps``, ``seed``/``edge_prob`` (random), ``k``
+    (fat-tree), ``matrix_ms``/``names`` (multi-DC; defaults to
+    :data:`DEFAULT_DC_MATRIX_MS`), plus pass-through ``placement`` and
+    ``control_kb``.
+    """
+    spec = dict(spec)
+    kind = spec.pop("topology", "star")
+    placement = spec.pop("placement", None)
+    control_kb = float(spec.pop("control_kb", 0.0))
+    nodes = int(spec.pop("nodes", 4))
+    latency_s = float(spec.pop("latency_ms", 0.0)) / 1000.0
+    jitter_ms = float(spec.pop("jitter_ms", 0.0))
+    loss = float(spec.pop("loss", 0.0))
+    bandwidth = spec.pop("bandwidth_kbps", None)
+    bandwidth = float(bandwidth) if bandwidth is not None else None
+    common = dict(bandwidth_kbps=bandwidth,
+                  jitter_s=jitter_ms / 1000.0, loss_prob=loss)
+    if kind == "star":
+        graph = star(nodes, latency_s=latency_s, **common)
+    elif kind == "mesh":
+        graph = full_mesh(nodes, latency_s=latency_s, **common)
+    elif kind == "random":
+        graph = random_graph(
+            nodes, extra_edge_prob=float(spec.pop("edge_prob", 0.2)),
+            seed=int(spec.pop("seed", 0)), latency_s=latency_s,
+            **common)
+    elif kind == "fat_tree":
+        graph = fat_tree(k=int(spec.pop("k", 4)), **common)
+    elif kind == "multi_dc":
+        matrix = spec.pop("matrix_ms", DEFAULT_DC_MATRIX_MS)
+        graph = multi_dc(matrix, names=spec.pop("names", None),
+                         bandwidth_kbps=bandwidth,
+                         jitter_ms=jitter_ms, loss_prob=loss)
+    else:
+        raise ValueError(
+            f"unknown topology {kind!r}; expected one of "
+            f"{', '.join(GENERATORS)}")
+    unused = sorted(spec)
+    if unused:
+        raise ValueError(f"unused net spec keys: {', '.join(unused)}")
+    return graph, placement, control_kb

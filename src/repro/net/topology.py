@@ -110,7 +110,12 @@ class Topology:
         Deliberately does *not* fire ``on_disconnect`` (snubbing a
         neighbor is not a departure), but does report the edge change.
         """
-        existed = b in self._adj.get(a, ())
+        # An edge counts as existing if *either* side records it:
+        # asymmetric state (a half-removed edge, a peer mid-departure)
+        # must still produce exactly one on_edge_removed so the
+        # interest index and route caches don't drift.
+        existed = (b in self._adj.get(a, ())
+                   or a in self._adj.get(b, ()))
         if a in self._adj:
             self._adj[a].discard(b)
             self._sorted_cache.pop(a, None)

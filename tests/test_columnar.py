@@ -324,4 +324,4 @@ class TestBenchCliDefaults:
 
         args = build_parser().parse_args(["bench", "--quick"])
         assert args.out == DEFAULT_REPORT_PATH
-        assert DEFAULT_REPORT_PATH == "BENCH_PR9.json"
+        assert DEFAULT_REPORT_PATH == "BENCH_PR10.json"

@@ -198,3 +198,59 @@ class TestBootstrap:
             donor_pieces={5}, requestor_missing={1},
             candidate_payees=["C"], missing_by_peer={"C": {5}})
         assert result == []
+
+
+class TestWindowUnderflow:
+    """Regression tests: a duplicate confirm/write-off must floor at
+    zero, report the underflow, and never fake an eligibility flip."""
+
+    def test_underflow_floors_and_reports(self):
+        flow = FlowController()
+        events = []
+        under = []
+        flow.on_window_change = lambda n, b: events.append((n, b))
+        flow.on_underflow = under.append
+        flow.on_reciprocation_confirmed("B")
+        assert flow.pending("B") == 0
+        assert flow.underflows == 1
+        assert under == ["B"]
+        assert events == []
+
+    def test_duplicate_write_off_does_not_reopen_early(self):
+        flow = FlowController(pending_limit=2)
+        events = []
+        flow.on_window_change = lambda n, b: events.append((n, b))
+        flow.on_piece_sent("B")
+        flow.on_piece_sent("B")           # blocked
+        flow.write_off("B")               # true unblock
+        flow.write_off("B")               # drains the last exchange
+        flow.write_off("B")               # duplicate: underflow
+        assert events == [("B", True), ("B", False)]
+        assert flow.pending("B") == 0
+        assert flow.underflows == 1
+        # The next upload counts the true backlog from zero.
+        flow.on_piece_sent("B")
+        assert flow.pending("B") == 1
+        assert flow.eligible("B")
+
+    def test_window_events_fire_only_on_true_flips(self):
+        flow = FlowController(pending_limit=2)
+        events = []
+        flow.on_window_change = lambda n, b: events.append((n, b))
+        flow.on_piece_sent("B")           # 1: still eligible
+        flow.on_piece_sent("B")           # 2: flips to blocked
+        flow.on_piece_sent("B")           # 3: already blocked, silent
+        flow.on_reciprocation_confirmed("B")  # 2: still blocked
+        flow.on_reciprocation_confirmed("B")  # 1: flips to eligible
+        flow.on_reciprocation_confirmed("B")  # 0: still eligible
+        assert events == [("B", True), ("B", False)]
+
+    def test_forget_is_remembered_for_stragglers(self):
+        flow = FlowController()
+        assert not flow.was_forgotten("B")
+        flow.on_piece_sent("B")
+        flow.forget("B")
+        assert flow.was_forgotten("B")
+        # A straggling confirm after forget underflows benignly.
+        flow.on_reciprocation_confirmed("B")
+        assert flow.underflows == 1

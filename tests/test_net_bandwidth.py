@@ -175,3 +175,60 @@ class TestSwapPopRemoval:
         # Two survivors, 31.25 KB/s per slot, closed at t=1.
         assert up.kb_sent == pytest.approx(62.5)
         assert up.in_flight() == []
+
+
+class TestRetroactiveUtilization:
+    """Regression: ``utilization(now=...)`` used to ignore an explicit
+    ``now`` once the uplink closed, so sampling a departed peer at an
+    earlier time reported the frozen full window."""
+
+    def test_explicit_now_before_close_wins(self):
+        sim, up = make_uplink(capacity=800.0, slots=1)
+        up.try_start(100.0, lambda t: None)  # 800 Kbit / 800 Kbps = 1 s
+        sim.run()
+        sim.schedule(9.0, lambda: None)
+        sim.run()  # advance the clock to t=10
+        up.close()
+        # Retroactive sample at t=2: 100 KB over 2 s of 800 Kbps.
+        assert up.utilization(now=2.0) == pytest.approx(0.5)
+        # The window still never extends past the close.
+        assert up.utilization(now=50.0) == pytest.approx(0.1)
+        assert up.utilization() == pytest.approx(0.1)
+
+    def test_explicit_now_on_open_uplink_unchanged(self):
+        sim, up = make_uplink(capacity=800.0, slots=1)
+        up.try_start(100.0, lambda t: None)
+        sim.run()
+        assert up.utilization(now=2.0) == pytest.approx(0.5)
+
+
+class TestMinDurationFloor:
+    """The network substrate floors delivery at the path time."""
+
+    def test_floor_extends_delivery(self):
+        sim, up = make_uplink(capacity=800.0, slots=1)
+        done = []
+        t = up.try_start(100.0, lambda tr: done.append(sim.now),
+                         min_duration_s=5.0)
+        sim.run()
+        assert done == [pytest.approx(5.0)]
+        # The slot is held at the implied lower rate for the window.
+        assert t.rate_kbps == pytest.approx(160.0)
+        assert t.duration == pytest.approx(5.0)
+
+    def test_floor_below_slot_time_is_inert(self):
+        sim, up = make_uplink(capacity=800.0, slots=1)
+        done = []
+        t = up.try_start(100.0, lambda tr: done.append(sim.now),
+                         min_duration_s=0.25)
+        sim.run()
+        assert done == [pytest.approx(1.0)]
+        assert t.rate_kbps == pytest.approx(800.0)
+
+    def test_cancel_credits_partial_at_effective_rate(self):
+        sim, up = make_uplink(capacity=800.0, slots=1)
+        t = up.try_start(100.0, lambda tr: None, min_duration_s=5.0)
+        sim.schedule(2.5, t.cancel)
+        sim.run()
+        # Half the (floored) window elapsed -> half the piece credited.
+        assert up.kb_sent == pytest.approx(50.0)

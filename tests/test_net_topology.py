@@ -124,3 +124,46 @@ class TestRemoval:
         assert len(t) == 2
         t.remove_peer("A")
         assert len(t) == 1
+
+
+class TestAsymmetricDisconnect:
+    """Regression: ``disconnect`` used to decide whether the edge
+    existed from the a-side adjacency only, so a half-removed edge was
+    silently discarded without ``on_edge_removed`` and the interest
+    index / route caches drifted."""
+
+    def test_b_side_only_edge_still_fires_removed(self):
+        t = topo()
+        t.add_peer("A")
+        t.add_peer("B")
+        t.connect("A", "B")
+        # Manufacture stale one-sided state: the a-side entry is gone
+        # but B still records the edge.
+        t._adj["A"].discard("B")
+        t._sorted_cache.clear()
+        removed = []
+        t.on_edge_removed = lambda a, b: removed.append((a, b))
+        t.disconnect("A", "B")
+        assert removed == [("A", "B")]
+        assert not t.are_neighbors("B", "A")
+        assert not t.are_neighbors("A", "B")
+
+    def test_missing_edge_fires_nothing(self):
+        t = topo()
+        t.add_peer("A")
+        t.add_peer("B")
+        removed = []
+        t.on_edge_removed = lambda a, b: removed.append((a, b))
+        t.disconnect("A", "B")
+        assert removed == []
+
+    def test_symmetric_edge_fires_exactly_once(self):
+        t = topo()
+        t.add_peer("A")
+        t.add_peer("B")
+        t.connect("A", "B")
+        removed = []
+        t.on_edge_removed = lambda a, b: removed.append((a, b))
+        t.disconnect("A", "B")
+        t.disconnect("A", "B")  # repeat is a no-op
+        assert removed == [("A", "B")]

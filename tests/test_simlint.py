@@ -499,6 +499,58 @@ class TestSL012PerPeerObjectScan:
         assert [f for f in findings if f.rule == "SL012"] == []
 
 
+class TestSL014AdHocDelivery:
+    def test_other_objects_method_scheduled_flagged(self):
+        assert rules_of("""
+            def notify(self, receiver, payload):
+                self.sim.schedule(0.05, receiver.on_payload, payload)
+        """, path="src/repro/bt/peer.py") == ["SL014"]
+
+    def test_schedule_at_and_call_now_flagged(self):
+        assert rules_of("""
+            def notify(self, donor, when):
+                self.sim.schedule_at(when, donor.on_report, 1, True)
+                self.sim.call_now(donor.on_report, 1, True)
+        """, path="src/repro/bt/protocols/tchain.py") == ["SL014"]
+
+    def test_self_callbacks_clean(self):
+        assert rules_of("""
+            def arm(self):
+                self.sim.schedule(1.0, self._retry, 1)
+                self.sim.schedule(1.0, self.flow.on_window_change, "a")
+        """, path="src/repro/bt/peer.py") == []
+
+    def test_module_level_timer_clean(self):
+        assert rules_of("""
+            def arm(self, state):
+                self.sim.schedule(5.0, _check_stall, state, 3)
+        """, path="src/repro/bt/protocols/tchain.py") == []
+
+    def test_swarm_choke_point_exempt(self):
+        assert rules_of("""
+            def send_control(self, receiver, handler, *args):
+                self.sim.schedule(0.05, receiver.on_report, *args)
+        """, path="src/repro/bt/swarm.py") == []
+
+    def test_outside_bt_package_clean(self):
+        assert rules_of("""
+            def notify(self, receiver, payload):
+                self.sim.schedule(0.05, receiver.on_payload, payload)
+        """, path="src/repro/faults/injector.py") == []
+
+    def test_suppression_honoured(self):
+        assert rules_of("""
+            def notify(self, receiver, payload):
+                self.sim.schedule(0.05, receiver.on_payload, payload)  # simlint: disable=SL014 -- test shim
+        """, path="src/repro/bt/peer.py") == []
+
+    def test_real_bt_package_clean(self):
+        package = os.path.join(os.path.dirname(__file__), "..",
+                               "src", "repro", "bt")
+        findings = lint_paths([package])
+        assert [f for f in findings if f.rule == "SL014"] == []
+
+
 class TestSuppression:
     def test_line_suppression(self):
         assert rules_of(

@@ -360,3 +360,92 @@ class TestMessages:
         leecher = add_leecher(swarm)
         with pytest.raises(TypeError):
             leecher.on_payload(3, "S1")
+
+
+class TestForgiveWindowAccounting:
+    """Regression: forgiving a transaction that was already written
+    off used to drain the flow window a second time (the stall
+    watchdog racing the plead/forgive path), re-opening a blocked
+    neighbor early and desyncing the ``_flow_blocked`` mirror."""
+
+    def _delivered_exchange(self):
+        from repro.bt.protocols.tchain import _write_off
+        swarm, seeder = tchain_swarm(n_pieces=4)
+        donor = add_leecher(swarm)       # empty book: pump plans nothing
+        requestor = add_leecher(swarm)
+        state = TChainState.of(swarm)
+        ledger = state.ledger
+        chain = ledger.begin_chain(donor.id, True, 0.0)
+        tx, _ = ledger.create_transaction(
+            chain, donor.id, requestor.id, payee_id=seeder.id,
+            piece_index=0, now=0.0)
+        ledger.mark_delivered(tx.transaction_id, 0.0)
+        return swarm, donor, requestor, state, tx, _write_off
+
+    def test_forgive_after_write_off_drains_window_once(self):
+        swarm, donor, requestor, state, tx, write_off = \
+            self._delivered_exchange()
+        donor.flow.on_piece_sent(requestor.id)
+        donor.flow.on_piece_sent(requestor.id)
+        assert not donor.flow.eligible(requestor.id)
+        assert requestor.id in donor._flow_blocked
+        write_off(state, tx)  # the watchdog drains one exchange
+        assert donor.flow.pending(requestor.id) == 1
+        donor.reassign_or_forgive(tx, None)  # forced forgiveness
+        # Pre-fix this double-drained to 0 and the real outstanding
+        # exchange vanished from the window.
+        assert donor.flow.pending(requestor.id) == 1
+        assert donor.flow.underflows == 0
+
+    def test_forgive_without_write_off_still_drains(self):
+        swarm, donor, requestor, state, tx, _ = \
+            self._delivered_exchange()
+        donor.flow.on_piece_sent(requestor.id)
+        donor.reassign_or_forgive(tx, None)
+        assert donor.flow.pending(requestor.id) == 0
+
+
+class TestDeadLetterPieces:
+    """Regression: a piece in flight when its transaction aborted
+    (donor departure racing a stalled payload) used to drive the
+    ledger through the illegal ABORTED -> DELIVERED edge, and — once
+    dropped — left the piece marked expected forever, wedging the
+    requestor one piece short of completion."""
+
+    def _aborted_in_flight(self):
+        from repro.core.crypto import SealedPiece
+        swarm, seeder = tchain_swarm(n_pieces=4)
+        donor = add_leecher(swarm)
+        requestor = add_leecher(swarm)
+        state = TChainState.of(swarm)
+        ledger = state.ledger
+        chain = ledger.begin_chain(donor.id, True, 0.0)
+        tx, sealed = ledger.create_transaction(
+            chain, donor.id, requestor.id, payee_id=seeder.id,
+            piece_index=0, now=0.0)
+        requestor.book.expect(0)  # the transfer started
+        ledger.abort(tx.transaction_id, 0.0)  # donor departed
+        if sealed is None:
+            sealed = SealedPiece(piece_index=0, key_id=tx.key_id)
+        msg = EncryptedPieceMessage(
+            transaction_id=tx.transaction_id, chain_id=tx.chain_id,
+            sealed=sealed, donor_id=donor.id,
+            requestor_id=requestor.id, payee_id=seeder.id)
+        return swarm, requestor, tx, msg
+
+    def test_late_piece_on_aborted_tx_is_dropped(self):
+        swarm, requestor, tx, msg = self._aborted_in_flight()
+        # Pre-fix: InvalidTransition (aborted -> delivered).
+        requestor.on_payload(msg, msg.donor_id)
+        assert tx.state is TransactionState.ABORTED
+        assert msg.transaction_id not in requestor.pending_sealed
+        assert msg.transaction_id not in requestor.obligations
+        assert swarm.metrics.recovery.dead_letters == 1
+
+    def test_dropped_piece_is_rewanted(self):
+        swarm, requestor, tx, msg = self._aborted_in_flight()
+        requestor.on_payload(msg, msg.donor_id)
+        # Pre-fix (first follow-up): the piece stayed "expected" and
+        # was never re-fetched, wedging the requestor at n-1 pieces.
+        assert not requestor.book.is_expected(0)
+        assert 0 in requestor.book.wanted()
